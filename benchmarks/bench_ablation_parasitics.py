@@ -1,0 +1,102 @@
+"""Ablation: the paper's extrinsic parasitic ranges.
+
+Fig. 3(a) annotates ranges for the contact resistance (1-100 kOhm,
+nominal 10 kOhm) and the parasitic junction capacitance (0.01-0.1 aF/nm).
+This bench sweeps both across the stated ranges and records their impact
+on the nominal FO4 inverter delay and ring-oscillator frequency.
+
+Assertions (directional):
+
+* delay increases monotonically with contact resistance and with
+  parasitic capacitance;
+* at 100 kOhm the contact resistance visibly degrades the drive
+  (> 15% delay penalty vs 1 kOhm);
+* the parasitic-capacitance range moves delay by a bounded amount
+  (< 2x: the load is dominated by gate + wire capacitance, consistent
+  with the paper treating these as secondary knobs).
+"""
+
+from dataclasses import replace
+
+from repro.circuit.ring_oscillator import estimate_ring_oscillator
+from repro.reporting.tables import format_table
+
+
+def test_contact_resistance_sweep(benchmark, tech, save_report):
+    def run():
+        rows = []
+        delays = []
+        for r_ohm in (1e3, 3e3, 10e3, 30e3, 100e3):
+            params = replace(tech.params, contact_resistance_ohm=r_ohm)
+            nt, pt = tech.inverter_tables(0.13)
+            m = estimate_ring_oscillator(nt, pt, 0.4, 15, params)
+            delays.append(m.stage_delay_s)
+            rows.append([f"{r_ohm / 1e3:.0f}k",
+                         f"{m.stage_delay_s * 1e12:.2f}",
+                         f"{m.frequency_hz / 1e9:.2f}"])
+        return rows, delays
+
+    rows, delays = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_contact_resistance", format_table(
+        ["R_contact", "stage delay (ps)", "f (GHz)"], rows,
+        title="Contact-resistance sweep (paper range 1-100 kOhm)"))
+
+    assert all(a < b for a, b in zip(delays, delays[1:]))
+    assert delays[-1] > 1.15 * delays[0]
+
+
+def test_parasitic_capacitance_sweep(benchmark, tech, save_report):
+    def run():
+        rows = []
+        delays = []
+        for c_af in (0.01, 0.03, 0.05, 0.1):
+            params = replace(tech.params, c_parasitic_af_per_nm=c_af)
+            nt, pt = tech.inverter_tables(0.13)
+            m = estimate_ring_oscillator(nt, pt, 0.4, 15, params)
+            delays.append(m.stage_delay_s)
+            rows.append([f"{c_af:.2f}",
+                         f"{m.stage_delay_s * 1e12:.2f}",
+                         f"{m.frequency_hz / 1e9:.2f}",
+                         f"{m.edp_j_s * 1e27:.1f}"])
+        return rows, delays
+
+    rows, delays = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_parasitic_capacitance", format_table(
+        ["C_par (aF/nm)", "stage delay (ps)", "f (GHz)", "EDP (fJ-ps)"],
+        rows, title="Junction-capacitance sweep (paper range 0.01-0.1)"))
+
+    assert all(a <= b for a, b in zip(delays, delays[1:]))
+    assert delays[-1] < 2.0 * delays[0]
+
+
+def test_pitch_and_ribbon_count(benchmark, tech, save_report):
+    """Array-width knob: more ribbons add drive, gate load AND contact
+    parasitics in proportion, so frequency is nearly size-invariant
+    while power scales with the array - the reason the paper can study
+    per-ribbon anomalies at a fixed 4-ribbon design without the array
+    size itself being a performance lever."""
+
+    def run():
+        rows = []
+        freqs = []
+        powers = []
+        for n_ribbons in (2, 4, 8):
+            params = replace(tech.params, n_ribbons=n_ribbons,
+                             contact_width_nm=10.0 * n_ribbons)
+            table = (tech.ribbon_table.scaled(n_ribbons)
+                     .with_gate_offset(tech.gate_offset_for_vt(0.13)))
+            m = estimate_ring_oscillator(table, table, 0.4, 15, params)
+            freqs.append(m.frequency_hz)
+            powers.append(m.total_power_w)
+            rows.append([str(n_ribbons),
+                         f"{m.frequency_hz / 1e9:.2f}",
+                         f"{m.total_power_w * 1e6:.2f}"])
+        return rows, freqs, powers
+
+    rows, freqs, powers = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_ribbon_count", format_table(
+        ["ribbons", "f (GHz)", "P (uW)"], rows,
+        title="GNR array size sweep (paper: 4 ribbons at 10 nm pitch)"))
+    # Frequency approximately invariant; power grows with the array.
+    assert max(freqs) / min(freqs) < 1.5
+    assert powers[0] < powers[1] < powers[2]

@@ -1,0 +1,68 @@
+"""Extension: memory yield and ECC overhead (paper Section 5.3, quantified).
+
+The paper argues GNRFET memories need ECC/redundancy because variability
+drives latch noise margins toward zero.  This bench samples Monte Carlo
+latch cells (per-ribbon width/impurity draws, exact butterfly SNM per
+cell), converts the SNM distribution into cell failure probabilities at
+several noise budgets, and evaluates the Hamming-SEC protection the
+paper gestures at.
+
+Assertions:
+
+* the sampled SNM distribution has a degraded tail below the nominal;
+* cell failure probability is monotone in the noise budget;
+* SEC improves word failure by orders of magnitude at small p_cell, at
+  ~11% redundancy for 64-bit words (the quantitative content of the
+  paper's "redundancy required for ECC ... may be off-set" sentence).
+"""
+
+import numpy as np
+
+from repro.circuit.inverter import inverter_snm
+from repro.reporting.ascii_plot import ascii_histogram
+from repro.reporting.tables import format_table
+from repro.variability.yield_model import (
+    ECCAnalysis,
+    cell_failure_probability,
+    required_sec_words_per_data_word,
+    sample_latch_snm,
+)
+
+
+def test_memory_yield_and_ecc(benchmark, tech, save_report):
+    def run():
+        return sample_latch_snm(tech, n_cells=250, n_vtc_points=31)
+
+    snm = benchmark.pedantic(run, rounds=1, iterations=1)
+    nominal = inverter_snm(*tech.inverter_tables(0.13), 0.4, tech.params)
+
+    budgets = (0.02, 0.035, 0.05)
+    rows = []
+    for budget in budgets:
+        p_cell = cell_failure_probability(snm, budget)
+        ecc = ECCAnalysis(p_cell=max(p_cell, 1e-6), data_bits=64)
+        k = required_sec_words_per_data_word(max(p_cell, 1e-6), 1e-9)
+        rows.append([f"{budget * 1e3:.0f} mV", f"{p_cell:.3f}",
+                     f"{ecc.word_failure_raw():.2e}",
+                     f"{ecc.word_failure_sec():.2e}",
+                     f"{ecc.overhead:.1%}", str(k)])
+
+    report = (ascii_histogram(snm * 1e3, bins=20,
+                              title=f"latch hold-SNM distribution (mV); "
+                                    f"nominal {nominal * 1e3:.0f} mV")
+              + "\n\n"
+              + format_table(["noise budget", "p_cell", "raw word fail",
+                              "SEC word fail", "ECC overhead",
+                              "interleave for 1e-9"], rows,
+                             title="64-bit word reliability"))
+    save_report("ext_memory_yield", report)
+
+    assert np.std(snm) > 0.0
+    assert snm.min() < nominal
+
+    p_vals = [cell_failure_probability(snm, b) for b in budgets]
+    assert all(a <= b for a, b in zip(p_vals, p_vals[1:]))
+
+    ecc = ECCAnalysis(p_cell=max(p_vals[0], 1e-4), data_bits=64)
+    assert ecc.improvement_factor() > 5.0
+    assert ecc.overhead < 0.12

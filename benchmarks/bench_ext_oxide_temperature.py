@@ -1,0 +1,79 @@
+"""Extensions: oxide-thickness variation and temperature dependence.
+
+Both are knobs the paper names but does not sweep ("difficulty of
+control of the GNR width *or oxide thickness*"; room-temperature-only
+simulation).  Assertions:
+
+* oxide: thicker oxide -> less leakage but slower switching (the
+  Schottky barriers thicken with the natural length ~ sqrt(t_ox));
+* temperature: the ambipolar leakage floor is activated (Arrhenius
+  behaviour with E_a a sizeable fraction of the half-gap) while the
+  tunneling-dominated on-current moves weakly -> static power is the
+  thermally fragile metric, reinforcing the paper's leakage story.
+"""
+
+from repro.exploration.temperature import (
+    leakage_activation_energy_ev,
+    temperature_study,
+)
+from repro.reporting.experiments import nominal_technology
+from repro.reporting.tables import format_table
+from repro.variability.oxide import oxide_thickness_study
+
+
+def test_oxide_thickness_extension(benchmark, tech, save_report):
+    def run():
+        return oxide_thickness_study(
+            tech, thicknesses_nm=(1.2, 1.5, 1.8, 2.1))
+
+    nominal, entries = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[f"{e.oxide_thickness_nm:.1f}",
+             f"{e.metrics.delay_s * 1e12:.2f}",
+             f"{e.delay_pct:+.0f}%",
+             f"{e.metrics.static_power_w * 1e6:.4f}",
+             f"{e.static_power_pct:+.0f}%",
+             f"{e.snm_pct:+.0f}%"] for e in entries]
+    save_report("ext_oxide_thickness", format_table(
+        ["t_ox (nm)", "delay (ps)", "d-delay", "Pstat (uW)", "d-Pstat",
+         "d-SNM"], rows,
+        title="Oxide-thickness variation (all ribbons, fixed gate metal)"))
+
+    delays = [e.metrics.delay_s for e in entries]
+    leaks = [e.metrics.static_power_w for e in entries]
+    assert all(a < b for a, b in zip(delays, delays[1:]))
+    assert all(a > b for a, b in zip(leaks, leaks[1:]))
+    # Net effect of +/-0.3 nm drift: ~15% on delay and ~10-20% on
+    # leakage - an order gentler than a width family step, because the
+    # leakage floor at the nominal alignment is thermionic-dominated
+    # (only the tunneling part feels the natural length).
+    assert delays[-1] / delays[0] > 1.25
+    assert leaks[0] / leaks[-1] > 1.2
+
+
+def test_temperature_extension(benchmark, save_report):
+    def run():
+        points = temperature_study(
+            temperatures_k=(250.0, 300.0, 350.0, 400.0))
+        return points, leakage_activation_energy_ev(points)
+
+    points, e_a = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[f"{p.temperature_k:.0f}", f"{p.i_on_a * 1e6:.2f}",
+             f"{p.i_min_a * 1e9:.2f}", f"{p.vt_v:.3f}",
+             f"{p.inverter_delay_s * 1e12:.2f}",
+             f"{p.inverter_static_power_w * 1e6:.4f}"] for p in points]
+    report = format_table(
+        ["T (K)", "Ion (uA)", "Imin (nA)", "VT (V)", "delay est (ps)",
+         "Pstat (uW)"], rows,
+        title="Temperature sweep of the N=12 GNRFET / nominal inverter")
+    report += (f"\n\nleakage activation energy E_a = {e_a * 1e3:.0f} meV "
+               "(half-gap 304 meV, reduced by tunneling)")
+    save_report("ext_temperature", report)
+
+    leaks = [p.i_min_a for p in points]
+    assert all(a < b for a, b in zip(leaks, leaks[1:]))
+    assert 0.03 < e_a < 0.4
+    on_ratio = points[-1].i_on_a / points[0].i_on_a
+    leak_ratio = points[-1].i_min_a / points[0].i_min_a
+    assert leak_ratio > 3.0 * on_ratio

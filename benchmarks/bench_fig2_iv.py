@@ -1,0 +1,40 @@
+"""Figure 2: intrinsic N=12 GNRFET I-V (a) and V_T extraction (b).
+
+Paper anchors asserted:
+* ambipolar curves with minimum leakage near V_G = V_D/2, leakage rising
+  exponentially with V_D;
+* I_on ~ 6.3 uA scale at V_D = 0.5 V (factor-2 band);
+* V_T ~ 0.3 V at zero offset, ~0.1 V at a 0.2 V gate work-function offset.
+"""
+
+import numpy as np
+
+from repro.reporting.experiments import run_fig2
+from repro.reporting.figures import save_series_csv
+
+
+def test_fig2_iv_and_vt(benchmark, tech, save_report, output_dir):
+    report, data = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    save_report("fig2", report)
+    save_series_csv(data["series"], output_dir / "fig2a_series.csv")
+
+    # V_T anchors (paper: 0.3 V and 0.1 V).
+    assert abs(data["vt"][0.0] - 0.30) < 0.05
+    assert abs(data["vt"][0.2] - 0.10) < 0.05
+    assert abs((data["vt"][0.0] - data["vt"][0.2]) - 0.2) < 0.04
+
+    by_name = {s.name: s for s in data["series"]}
+    # Ambipolar minimum near V_D/2 for the V_D = 0.5 V curve.
+    s = by_name["VD=0.50V"]
+    v_min = s.x[np.argmin(s.y)]
+    assert abs(v_min - 0.25) < 0.1
+
+    # Minimum leakage rises exponentially with V_D.
+    mins = {name: float(np.min(series.y))
+            for name, series in by_name.items()}
+    assert mins["VD=0.50V"] > 4.0 * mins["VD=0.25V"]
+    assert mins["VD=0.75V"] > 4.0 * mins["VD=0.50V"]
+
+    # I_on scale at V_D = 0.5 (paper ~6.3 uA; factor-2 band).
+    i_on = float(by_name["VD=0.50V"].y[-1])
+    assert 2.5e-6 < i_on < 13e-6

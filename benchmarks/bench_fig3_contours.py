@@ -1,0 +1,42 @@
+"""Figure 3(b): EDP / frequency / SNM contours over the (V_T, V_DD) plane.
+
+Paper anchors asserted:
+* the global EDP optimum sits at an interior point of the plane at a low
+  frequency (paper: V_DD ~ 0.15, V_T ~ 0.08);
+* point A (minimum EDP at 3 GHz) has a *lower* SNM than point B (which
+  adds the SNM floor) and a lower or equal EDP;
+* point B runs at >= 3 GHz with the SNM floor met;
+* EDP and frequency contours exist at multiple levels (non-degenerate
+  landscape).
+"""
+
+from repro.reporting.experiments import run_fig3
+
+
+def test_fig3_exploration_contours(benchmark, tech, save_report):
+    report, data = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    save_report("fig3", report)
+
+    grid = data["grid"]
+    optimum = data["optimum"]
+    point_a = data["A"]
+    point_b = data["B"]
+
+    # Interior optimum (not clamped to the grid boundary).
+    assert grid.vt[0] < optimum.vt < grid.vt[-1]
+    assert grid.vdd[0] < optimum.vdd < grid.vdd[-1]
+
+    # The global optimum is slower than the 3 GHz design points.
+    assert optimum.frequency_hz < point_a.frequency_hz
+
+    # A meets the frequency floor with minimal EDP; B pays EDP for SNM.
+    assert point_a.frequency_hz >= 3e9
+    assert point_b.frequency_hz >= 3e9
+    assert point_b.snm_v >= data["snm_floor"] - 1e-9
+    assert point_b.snm_v >= point_a.snm_v
+    assert point_b.edp_j_s >= point_a.edp_j_s
+
+    # Non-degenerate contour sets.
+    non_empty_edp = sum(1 for segs in data["edp_contours"].values() if segs)
+    assert non_empty_edp >= 4
+    assert data["frequency_contours"]["f=3GHz"]

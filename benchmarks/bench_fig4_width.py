@@ -1,0 +1,33 @@
+"""Figure 4: I-V at V_D = 0.5 V for GNR widths N = 9 / 12 / 15 / 18.
+
+Paper anchors asserted:
+* I_on/I_off ordering strictly decreasing with width;
+* N=9 ratio > 100x (paper: "as high as 1000X");
+* N=18's small gap cannot deliver a small leakage current;
+* on-current increases with width (more drive at smaller gap).
+"""
+
+import numpy as np
+
+from repro.reporting.experiments import run_fig4
+from repro.reporting.figures import save_series_csv
+
+
+def test_fig4_width_iv(benchmark, tech, save_report, output_dir):
+    report, data = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    save_report("fig4", report)
+    save_series_csv(data["series"], output_dir / "fig4_series.csv")
+
+    ratios = data["on_off_ratios"]
+    assert ratios[9] > ratios[12] > ratios[15] > ratios[18]
+    assert ratios[9] > 100.0
+    assert ratios[18] < 20.0
+
+    by_name = {s.name: s for s in data["series"]}
+    i_on = {n: float(by_name[f"N={n}"].y[-1]) for n in (9, 12, 15, 18)}
+    assert i_on[9] < i_on[12] < i_on[15] < i_on[18]
+
+    # Leakage changes by orders of magnitude over a couple of Angstrom
+    # of width (conclusions anchor A7).
+    i_min = {n: float(np.min(by_name[f"N={n}"].y)) for n in (9, 18)}
+    assert i_min[18] / i_min[9] > 100.0

@@ -1,0 +1,29 @@
+"""Figure 7: latch butterfly curves under worst-case variations.
+
+Three cases (nominal / single GNR affected / all GNRs affected) with the
+paper's worst anomaly (n: N=9 & +q, p: N=18 & -q).  Anchors asserted:
+
+* SNM strictly degrades with severity; all-affected is near-zero
+  ("one eye of the butterfly curve collapses");
+* static power multiplies in the worst case (paper: > 5x; we assert
+  > 2x, see EXPERIMENTS.md for the measured factor);
+* the single-GNR case sits between nominal and all-affected.
+"""
+
+from repro.reporting.experiments import run_fig7
+
+
+def test_fig7_latch_butterfly(benchmark, tech, save_report):
+    report, data = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    save_report("fig7", report)
+
+    nominal, single, worst = data["cases"]
+
+    assert nominal.snm_v > 0.03
+    assert single.snm_v < nominal.snm_v
+    assert worst.snm_v <= single.snm_v
+    assert worst.snm_v < 0.35 * nominal.snm_v
+
+    assert single.static_power_w > nominal.static_power_w
+    assert worst.static_power_w > 2.0 * nominal.static_power_w
+    assert worst.static_power_w > single.static_power_w

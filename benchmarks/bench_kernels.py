@@ -1,0 +1,81 @@
+"""Microbenchmarks of the numerical kernels (timing-focused).
+
+These use pytest-benchmark's statistics properly (multiple rounds) since
+each kernel call is fast; they guard against performance regressions in
+the hot paths: RGF, Poisson solves, table interpolation, SBFET bias
+solves and transient steps.
+"""
+
+import numpy as np
+
+from repro.atomistic.bandstructure import compute_bands
+from repro.device.geometry import GNRFETGeometry
+from repro.device.negf_device import _scalar_chain_rgf
+from repro.device.sbfet import SBFETModel
+from repro.negf.self_energy import lead_self_energy_1d
+from repro.poisson.fd import solve_poisson_2d
+from repro.poisson.grid import Grid2D
+
+
+def test_bandstructure_kernel(benchmark):
+    result = benchmark(compute_bands, 12, 101)
+    assert result.energies_ev.shape == (101, 24)
+
+
+def test_scalar_rgf_kernel(benchmark):
+    energies = np.linspace(-0.5, 1.5, 400)
+    onsite = np.linspace(0.3, -0.2, 61) + 9.9 * 2
+    sigma = np.array([lead_self_energy_1d(e, 0.0, 9.9) for e in energies])
+
+    out = benchmark(_scalar_chain_rgf, energies, onsite, 9.9, sigma, sigma)
+    assert out.transmission.shape == (400,)
+
+
+def test_poisson_2d_kernel(benchmark):
+    grid = Grid2D(15.0, 3.35, 61, 15)
+    eps = np.full(grid.shape, 3.9)
+    rho = np.zeros(grid.shape)
+    mask = np.zeros(grid.shape, bool)
+    mask[:, 0] = mask[:, -1] = mask[0, :] = mask[-1, :] = True
+    vals = np.zeros(grid.shape)
+    vals[:, 0] = vals[:, -1] = 0.4
+
+    phi = benchmark(solve_poisson_2d, grid, eps, rho, mask, vals)
+    assert np.isfinite(phi).all()
+
+
+def test_sbfet_bias_solve_kernel(benchmark, tech):
+    model = SBFETModel(GNRFETGeometry(n_index=12))
+
+    def solve():
+        return model.solve_bias(0.4, 0.4)
+
+    sol = benchmark(solve)
+    assert sol.current_a > 0.0
+
+
+def test_table_lookup_kernel(benchmark, tech):
+    table = tech.array_table(0.13)
+
+    def lookups():
+        total = 0.0
+        for vg in (0.0, 0.1, 0.2, 0.3, 0.4):
+            for vd in (0.05, 0.2, 0.4):
+                i, _, _ = table.current_and_derivatives(vg, vd)
+                total += i
+        return total
+
+    total = benchmark(lookups)
+    assert total > 0.0
+
+
+def test_inverter_dc_kernel(benchmark, tech):
+    from repro.circuit.dc import solve_dc
+    from repro.circuit.inverter import build_inverter_chain
+
+    nt, pt = tech.inverter_tables(0.13)
+    circuit = build_inverter_chain(nt, pt, 0.4, tech.params)
+    circuit.fixed[circuit.node("in")] = 0.2
+
+    result = benchmark(solve_dc, circuit)
+    assert result.iterations > 0

@@ -1,0 +1,42 @@
+"""Table 1: GNRFET ring oscillator (points A/B/C) vs scaled CMOS.
+
+The GNRFET rows use the full transient simulator; the CMOS rows the
+calibrated compact model.  Paper anchors asserted:
+
+* GNRFET point B lands in the low-GHz class (paper 3.4 GHz);
+* CMOS EDP exceeds GNRFET point-B EDP by a large factor everywhere
+  (paper 40-168x; shape contract: > 20x and < 1000x);
+* point C (same V_DD, higher V_T) is markedly slower than B
+  (paper: B is 40% faster);
+* every CMOS SNM exceeds every GNRFET SNM.
+"""
+
+from repro.reporting.experiments import run_table1
+
+
+def test_table1_gnrfet_vs_cmos(benchmark, tech, save_report):
+    report, data = benchmark.pedantic(
+        run_table1, kwargs={"fast": False}, rounds=1, iterations=1)
+    save_report("table1", report)
+
+    gnr = {r.label: r for r in data["gnrfet"]}
+    cmos = data["cmos"]
+    r_min, r_max = data["edp_ratio_range"]
+
+    assert 1.5 < gnr["B"].frequency_ghz < 8.0
+    assert r_min > 20.0
+    assert r_max < 1000.0
+
+    ratio_bc = gnr["B"].frequency_ghz / gnr["C"].frequency_ghz
+    assert 1.2 < ratio_bc < 2.5
+
+    assert max(r.snm_v for r in data["gnrfet"]) < min(r.snm_v for r in cmos)
+
+    # CMOS node ordering at 0.8 V: 22 nm fastest, 45 nm highest EDP.
+    at_08 = {r.label: r for r in cmos if r.label.endswith("0.8V")}
+    assert (at_08["22nm@0.8V"].frequency_ghz
+            > at_08["32nm@0.8V"].frequency_ghz
+            > at_08["45nm@0.8V"].frequency_ghz)
+    assert (at_08["22nm@0.8V"].edp_fj_ps
+            < at_08["32nm@0.8V"].edp_fj_ps
+            < at_08["45nm@0.8V"].edp_fj_ps)

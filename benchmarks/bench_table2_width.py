@@ -1,0 +1,46 @@
+"""Table 2: inverter sensitivity to independent n/p GNR width variation.
+
+Regenerates the full 4x4 grid of (p-width, n-width) cells, both array
+scenarios.  Paper anchors asserted:
+
+* worst-case slow corner (N=9 / N=9): delay increases, one-affected
+  milder than all-affected;
+* worst-case leaky corner (N=18 / N=18): static power up by multiples
+  (paper +313-643%), delay *decreases*, dynamic power up;
+* matched narrow widths improve SNM, maximum mismatch (9 vs 18) causes
+  the worst SNM loss (paper -27 to -80%);
+* single-GNR leakage: even one N=18 ribbon costs ~2x static power
+  (paper: ~3x).
+"""
+
+from repro.reporting.experiments import run_table2
+
+
+def test_table2_width_variation(benchmark, tech, save_report):
+    report, data = benchmark.pedantic(
+        run_table2, kwargs={"fast": False}, rounds=1, iterations=1)
+    save_report("table2", report)
+
+    entries = data["entries"]
+
+    slow = entries[(9, 9)]
+    assert slow.delay_pct[0] > 0.0
+    assert slow.delay_pct[1] > slow.delay_pct[0]
+
+    leaky = entries[(18, 18)]
+    assert leaky.delay_pct[1] < 0.0
+    assert leaky.static_power_pct[1] > 250.0
+    assert leaky.static_power_pct[0] > 80.0
+    assert leaky.dynamic_power_pct[1] > 0.0
+
+    # SNM: matched narrow helps, mismatch hurts most.
+    assert entries[(9, 9)].snm_pct[1] > entries[(18, 18)].snm_pct[1]
+    mismatch = min(entries[(9, 18)].snm_pct[1],
+                   entries[(18, 9)].snm_pct[1])
+    assert mismatch < -25.0
+    assert mismatch <= entries[(18, 18)].snm_pct[1] + 1.0
+
+    # Static power is monotone in the number of small-gap ribbons.
+    assert (entries[(18, 18)].static_power_pct[1]
+            > entries[(15, 15)].static_power_pct[1]
+            > entries[(9, 9)].static_power_pct[1])

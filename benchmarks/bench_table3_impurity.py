@@ -1,0 +1,39 @@
+"""Table 3: inverter sensitivity to independent charge impurities.
+
+Regenerates the 5x5 (-2q..+2q) grid minus the nominal cell.  Paper
+anchors asserted:
+
+* the worst delay cell is the doubly-degraded (n: -2q, p: +2q) corner
+  (paper +8-92%), and degradations far exceed the best improvements
+  ("highly asymmetric");
+* static power moves less than under width variation;
+* the (n:+q, p:-q) combination degrades SNM (paper -14 to -40%).
+"""
+
+from repro.reporting.experiments import run_table3
+
+
+def test_table3_charge_impurities(benchmark, tech, save_report):
+    report, data = benchmark.pedantic(
+        run_table3, kwargs={"fast": False}, rounds=1, iterations=1)
+    save_report("table3", report)
+
+    entries = data["entries"]
+
+    worst = entries[(+2.0, -2.0)]  # (p_charge, n_charge)
+    assert worst.delay_pct[1] > 20.0
+    assert worst.delay_pct[0] > 0.0
+
+    # Asymmetry: biggest improvement much smaller than biggest
+    # degradation.
+    degradations = [e.delay_pct[1] for e in entries.values()]
+    best_improvement = -min(degradations)
+    worst_degradation = max(degradations)
+    assert worst_degradation > 2.0 * max(best_improvement, 1.0)
+
+    # SNM of the +q/-q cell (paper -14..-40%).
+    assert entries[(-1.0, +1.0)].snm_pct[1] < -3.0
+
+    # Static power perturbations stay in the tens of percent
+    # (vs hundreds for width variation).
+    assert max(abs(e.static_power_pct[1]) for e in entries.values()) < 150.0

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(or an ablation), asserts its shape anchors, and writes the paper-style
+report to ``benchmarks/output/``.  ``pytest benchmarks/ --benchmark-only``
+runs everything; individual artifacts run with e.g.
+``pytest benchmarks/bench_table2_width.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.reporting.experiments import nominal_technology
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """Nominal technology (device table built once per session)."""
+    return nominal_technology()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_report(output_dir):
+    """Writer that stores a report under benchmarks/output/<name>.txt."""
+
+    def _save(name: str, report: str) -> Path:
+        path = output_dir / f"{name}.txt"
+        path.write_text(report + "\n")
+        return path
+
+    return _save

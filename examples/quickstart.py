@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a GNRFET, build its lookup table, run an inverter.
+
+This walks the library's three layers in ~40 lines:
+
+1. device physics - the fast ballistic Schottky-barrier FET engine on an
+   N=12 armchair GNR (the paper's nominal channel);
+2. lookup tables - the I-V/Q-V data that decouple device and circuit
+   simulation, with the gate work-function offset used for V_T design;
+3. circuit simulation - a fanout-of-4 inverter characterized at the
+   paper's nominal operating point (V_DD = 0.4 V, V_T = 0.13 V).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GNRFETGeometry, GNRFETTechnology, SBFETModel
+from repro.circuit import characterize_inverter
+
+
+def main() -> None:
+    # -- 1. Device physics ------------------------------------------------
+    geometry = GNRFETGeometry(n_index=12)   # 15 nm channel, 1.5 nm SiO2 DG
+    model = SBFETModel(geometry)
+    print(f"N=12 A-GNR: width {geometry.width_nm:.2f} nm, "
+          f"band gap {geometry.band_gap_ev:.3f} eV, "
+          f"Schottky barrier {geometry.schottky_barrier_ev:.3f} eV")
+
+    print("\nAmbipolar I-V at V_D = 0.5 V:")
+    for vg in np.arange(0.0, 0.751, 0.15):
+        print(f"  VG = {vg:4.2f} V  ->  ID = {model.current_at(vg, 0.5):.3e} A")
+
+    # -- 2. Technology bundle (tables + V_T control) ----------------------
+    # GNRFETTechnology builds the nominal per-ribbon lookup table once
+    # (a few seconds of device simulation) and handles V_T via the gate
+    # work-function offset.
+    tech = GNRFETTechnology.build(geometry)
+    print(f"\nZero-offset threshold V_T0 = {tech.vt0:.3f} V "
+          f"(paper: ~0.3 V)")
+    offset = tech.gate_offset_for_vt(0.13)
+    print(f"Work-function offset for V_T = 0.13 V: {offset:.3f} V")
+
+    # -- 3. Circuit: FO4 inverter at the paper's point B -------------------
+    n_table, p_table = tech.inverter_tables(vt=0.13)
+    metrics = characterize_inverter(n_table, p_table, vdd=0.4,
+                                    params=tech.params)
+    print("\nFO4 inverter at V_DD = 0.4 V, V_T = 0.13 V "
+          "(paper: 7.54 ps / 0.095 uW / 0.706 uW / 0.15 V):")
+    print(f"  delay          {metrics.delay_s * 1e12:6.2f} ps")
+    print(f"  static power   {metrics.static_power_w * 1e6:6.3f} uW")
+    print(f"  dynamic power  {metrics.dynamic_power_w * 1e6:6.3f} uW")
+    print(f"  SNM            {metrics.snm_v * 1e3:6.1f} mV")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro: reproduction of "Technology exploration for graphene nanoribbon
+FETs" (Choudhury, Yoon, Guo, Mohanram - DAC 2008).
+
+A bottom-up multi-scale simulation stack for GNRFET circuits:
+
+* :mod:`repro.atomistic` - p_z tight-binding bands of armchair GNRs;
+* :mod:`repro.negf` - NEGF transport kernels (Green's functions,
+  self-energies, Landauer current, SCF machinery);
+* :mod:`repro.poisson` - FD (1/2/3-D) and FEM (2-D) Poisson solvers;
+* :mod:`repro.device` - GNRFET device engines (fast semi-analytic SBFET
+  and reference NEGF+Poisson) and lookup tables;
+* :mod:`repro.circuit` - table-lookup circuit simulator (DC, transient,
+  VTC, SNM) with inverter / ring-oscillator / latch builders;
+* :mod:`repro.cmos` - calibrated scaled-CMOS baseline (22/32/45 nm);
+* :mod:`repro.exploration` - V_DD-V_T technology exploration (Fig. 3b,
+  Table 1);
+* :mod:`repro.variability` - width/impurity variability studies
+  (Tables 2-4, Figs. 6-7);
+* :mod:`repro.reporting` - paper-style reports and the experiment
+  registry driving the CLI and benchmarks.
+
+Quick start::
+
+    from repro import GNRFETGeometry, SBFETModel
+
+    model = SBFETModel(GNRFETGeometry(n_index=12))
+    print(model.current_at(vg=0.5, vd=0.5))
+
+or regenerate a paper artifact::
+
+    from repro.reporting import run_experiment
+    report, data = run_experiment("fig4")
+    print(report)
+"""
+
+from repro.constants import (
+    gnr_width_nm,
+    thermal_energy_ev,
+)
+from repro.device.geometry import ChargeImpurity, GNRFETGeometry
+from repro.device.sbfet import SBFETModel
+from repro.device.negf_device import NEGFDevice
+from repro.device.tables import DeviceTable, build_device_table
+from repro.exploration.technology import GNRFETTechnology
+from repro.circuit.inverter import CircuitParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "gnr_width_nm",
+    "thermal_energy_ev",
+    "ChargeImpurity",
+    "GNRFETGeometry",
+    "SBFETModel",
+    "NEGFDevice",
+    "DeviceTable",
+    "build_device_table",
+    "GNRFETTechnology",
+    "CircuitParameters",
+    "__version__",
+]

@@ -1,0 +1,158 @@
+"""Tight-binding Hamiltonians for armchair graphene nanoribbons.
+
+The paper simulates GNRFETs "in the atomistic p_z orbital basis set" with a
+coupling parameter of 2.7 eV and edge-bond relaxation following ab initio
+results (Son, Cohen, Louie, PRL 97, 216803).  This module builds:
+
+* ``H00`` — the Hamiltonian of one translational unit cell,
+* ``H01`` — the coupling from one cell to the next,
+* Bloch Hamiltonians ``H(k) = H00 + H01 e^{ikL} + H01^T e^{-ikL}``,
+* full real-space Hamiltonians of finite segments with an arbitrary on-site
+  potential (used by the real-space NEGF kernel and its tests).
+
+Energies are in eV; the midgap of the ideal ribbon is at 0 eV because the
+nearest-neighbour model on the bipartite honeycomb lattice is particle-hole
+symmetric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EDGE_RELAXATION, T_HOPPING_EV
+from repro.atomistic.lattice import ArmchairGNR
+
+
+def build_unit_cell_hamiltonian(
+    ribbon: ArmchairGNR,
+    hopping_ev: float = T_HOPPING_EV,
+    edge_relaxation: float = EDGE_RELAXATION,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(H00, H01)`` for one unit cell of an A-GNR.
+
+    Parameters
+    ----------
+    ribbon:
+        Ribbon geometry; only ``n_index`` matters here.
+    hopping_ev:
+        Nearest-neighbour hopping ``t`` (positive; matrix elements are
+        ``-t``).
+    edge_relaxation:
+        Relative strengthening of the edge dimer bonds (`delta` such that
+        the edge hopping is ``t (1 + delta)``).
+
+    Returns
+    -------
+    H00 : (2N, 2N) symmetric ndarray
+        Intra-cell Hamiltonian.
+    H01 : (2N, 2N) ndarray
+        Coupling of cell ``c`` to cell ``c + 1``; row index lives in the
+        left cell, column index in the right cell.
+    """
+    n_orb = ribbon.atoms_per_cell
+    h00 = np.zeros((n_orb, n_orb), dtype=float)
+    h01 = np.zeros((n_orb, n_orb), dtype=float)
+
+    for i, j, is_edge in ribbon.intra_cell_bonds():
+        t_bond = hopping_ev * (1.0 + edge_relaxation) if is_edge else hopping_ev
+        h00[i, j] = -t_bond
+        h00[j, i] = -t_bond
+    for i, j in ribbon.inter_cell_bonds():
+        h01[i, j] = -hopping_ev
+    return h00, h01
+
+
+def bloch_hamiltonian(
+    h00: np.ndarray,
+    h01: np.ndarray,
+    k_per_nm: float,
+    period_nm: float,
+) -> np.ndarray:
+    """Bloch Hamiltonian ``H(k)`` for wave vector ``k`` (rad/nm)."""
+    phase = np.exp(1j * k_per_nm * period_nm)
+    return h00.astype(complex) + h01 * phase + h01.T.conj() * np.conj(phase)
+
+
+def build_real_space_hamiltonian(
+    ribbon: ArmchairGNR,
+    onsite_ev: np.ndarray | float = 0.0,
+    hopping_ev: float = T_HOPPING_EV,
+    edge_relaxation: float = EDGE_RELAXATION,
+) -> np.ndarray:
+    """Full Hamiltonian of a finite ribbon segment.
+
+    Parameters
+    ----------
+    ribbon:
+        Segment geometry (``n_cells`` unit cells).
+    onsite_ev:
+        Either a scalar applied to every atom or an array of per-atom
+        on-site energies of length ``ribbon.n_atoms`` (e.g. the
+        electrostatic potential energy from a Poisson solution sampled at
+        the atom positions).
+
+    Returns
+    -------
+    (n_atoms, n_atoms) symmetric ndarray.
+    """
+    n = ribbon.n_atoms
+    per_cell = ribbon.atoms_per_cell
+    h00, h01 = build_unit_cell_hamiltonian(ribbon, hopping_ev, edge_relaxation)
+
+    h = np.zeros((n, n), dtype=float)
+    for cell in range(ribbon.n_cells):
+        lo = cell * per_cell
+        hi = lo + per_cell
+        h[lo:hi, lo:hi] = h00
+        if cell + 1 < ribbon.n_cells:
+            h[lo:hi, hi:hi + per_cell] = h01
+            h[hi:hi + per_cell, lo:hi] = h01.T
+
+    onsite = np.asarray(onsite_ev, dtype=float)
+    if onsite.ndim == 0:
+        np.fill_diagonal(h, h.diagonal() + float(onsite))
+    else:
+        if onsite.shape != (n,):
+            raise ValueError(
+                f"onsite array has shape {onsite.shape}, expected ({n},)")
+        np.fill_diagonal(h, h.diagonal() + onsite)
+    return h
+
+
+def block_tridiagonal_blocks(
+    ribbon: ArmchairGNR,
+    onsite_ev: np.ndarray | float = 0.0,
+    hopping_ev: float = T_HOPPING_EV,
+    edge_relaxation: float = EDGE_RELAXATION,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Diagonal and off-diagonal blocks of a segment Hamiltonian.
+
+    This is the natural input format of the recursive Green's function
+    algorithm: one diagonal block per unit cell (cell Hamiltonian plus that
+    cell's slice of the on-site potential) and the constant inter-cell
+    coupling repeated between consecutive cells.
+
+    Returns
+    -------
+    diagonal : list of ``n_cells`` arrays of shape (2N, 2N)
+    coupling : list of ``n_cells - 1`` arrays (block ``i`` couples cell
+        ``i`` to cell ``i + 1``)
+    """
+    per_cell = ribbon.atoms_per_cell
+    h00, h01 = build_unit_cell_hamiltonian(ribbon, hopping_ev, edge_relaxation)
+
+    onsite = np.asarray(onsite_ev, dtype=float)
+    if onsite.ndim == 0:
+        onsite = np.full(ribbon.n_atoms, float(onsite))
+    elif onsite.shape != (ribbon.n_atoms,):
+        raise ValueError(
+            f"onsite array has shape {onsite.shape}, expected ({ribbon.n_atoms},)")
+
+    diagonal = []
+    for cell in range(ribbon.n_cells):
+        block = h00.copy()
+        sl = onsite[cell * per_cell:(cell + 1) * per_cell]
+        np.fill_diagonal(block, block.diagonal() + sl)
+        diagonal.append(block)
+    coupling = [h01.copy() for _ in range(ribbon.n_cells - 1)]
+    return diagonal, coupling

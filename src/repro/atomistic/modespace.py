@@ -1,0 +1,107 @@
+"""Mode-space (subband) reduction of the A-GNR transport problem.
+
+For an ideal armchair GNR with a potential that is smooth across the ribbon
+width, the transverse modes decouple and transport separates into
+independent one-dimensional problems, one per subband.  This is the
+standard reduction behind mode-space NEGF simulators (nanoMOS / ViDES
+lineage) and is what makes routine device simulation "possible on a
+personal computer", as the paper puts it.
+
+Each :class:`TransverseMode` carries everything a 1-D transport kernel
+needs: the subband edge, the effective mass near the edge, and the two-band
+velocity that controls evanescent (under-barrier) decay inside the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.constants import EDGE_RELAXATION, HBAR_SI, Q_E, T_HOPPING_EV
+from repro.atomistic.bandstructure import (
+    band_velocity_m_per_s,
+    effective_masses,
+    subband_edges,
+)
+
+
+@dataclass(frozen=True)
+class TransverseMode:
+    """One conduction/valence subband pair of an A-GNR.
+
+    Attributes
+    ----------
+    index:
+        Subband ordinal, 0 for the lowest conduction subband.
+    edge_ev:
+        Conduction subband minimum measured from midgap; by particle-hole
+        symmetry the corresponding valence maximum is ``-edge_ev``.
+    mass_kg:
+        Parabolic effective mass at the subband edge.
+    velocity_m_per_s:
+        Two-band model velocity ``sqrt(2 edge_ev q / m)``... specifically
+        ``v = sqrt(E_n / m*)`` with ``E_n = edge_ev`` the *half*-gap of this
+        subband, such that ``m* = E_n / v^2``.
+    """
+
+    index: int
+    edge_ev: float
+    mass_kg: float
+    velocity_m_per_s: float
+
+    def kappa_per_nm(self, energy_ev: np.ndarray | float) -> np.ndarray | float:
+        """Evanescent decay constant inside this subband's gap (1/nm).
+
+        From the two-band dispersion ``(E)^2 = E_n^2 + (hbar v k)^2``
+        (energies from midgap), the decay constant for ``|E| < E_n`` is
+        ``kappa = sqrt(E_n^2 - E^2) / (hbar v)``; outside the gap it is 0.
+        """
+        e = np.asarray(energy_ev, dtype=float)
+        hv_ev_nm = HBAR_SI * self.velocity_m_per_s / Q_E * 1e9  # eV nm
+        arg = np.clip(self.edge_ev ** 2 - e ** 2, 0.0, None)
+        kappa = np.sqrt(arg) / hv_ev_nm
+        if np.isscalar(energy_ev):
+            return float(kappa)
+        return kappa
+
+    def wavevector_per_nm(self, energy_ev: np.ndarray | float) -> np.ndarray | float:
+        """Propagating wave vector for ``|E| > E_n`` (1/nm), 0 inside the gap."""
+        e = np.asarray(energy_ev, dtype=float)
+        hv_ev_nm = HBAR_SI * self.velocity_m_per_s / Q_E * 1e9
+        arg = np.clip(e ** 2 - self.edge_ev ** 2, 0.0, None)
+        k = np.sqrt(arg) / hv_ev_nm
+        if np.isscalar(energy_ev):
+            return float(k)
+        return k
+
+
+@lru_cache(maxsize=64)
+def transverse_modes(
+    n_index: int,
+    n_modes: int = 3,
+    hopping_ev: float = T_HOPPING_EV,
+    edge_relaxation: float = EDGE_RELAXATION,
+) -> tuple[TransverseMode, ...]:
+    """Extract the lowest ``n_modes`` subbands of an ``N = n_index`` A-GNR.
+
+    The subband edges and masses come from the exact tight-binding bands;
+    the two-band velocity is derived from them.  Results are cached because
+    the device layer requests the same ribbons repeatedly.
+    """
+    if n_modes < 1:
+        raise ValueError(f"need at least one mode, got {n_modes}")
+    edges = subband_edges(n_index, n_subbands=n_modes,
+                          hopping_ev=hopping_ev,
+                          edge_relaxation=edge_relaxation)
+    masses = effective_masses(n_index, n_subbands=n_modes,
+                              hopping_ev=hopping_ev,
+                              edge_relaxation=edge_relaxation)
+    modes = []
+    for i, (edge, mass) in enumerate(zip(edges, masses)):
+        vel = band_velocity_m_per_s(float(edge), float(mass))
+        modes.append(TransverseMode(index=i, edge_ev=float(edge),
+                                    mass_kg=float(mass),
+                                    velocity_m_per_s=vel))
+    return tuple(modes)

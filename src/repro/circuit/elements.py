@@ -1,0 +1,212 @@
+"""Circuit elements: linear R/C, table-lookup FETs, compact-model MOSFETs.
+
+The table FET implements the paper's extrinsic GNRFET of Fig. 3(a): the
+intrinsic lookup-table device plus parasitic junction capacitances.  The
+contact resistances of the figure are separate :class:`Resistor` elements
+added by the circuit builders (they need their own internal nodes).
+
+The :class:`CompactMOSFET` hosts the scaled-CMOS baseline: any object with
+``ids(vgs, vds) -> (i, di_dvgs, di_dvds)`` and
+``capacitances(vgs, vds) -> (cgs, cgd)`` works, which is how the
+PTM-calibrated alpha-power model of :mod:`repro.cmos` plugs into the same
+engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import GROUND, voltage_at
+from repro.device.tables import DeviceTable
+
+
+def _add_current(f: np.ndarray, node: int, value: float) -> None:
+    if node != GROUND:
+        f[node] += value
+
+
+def _add_jac(jac: np.ndarray | None, row: int, col: int, value: float) -> None:
+    if jac is not None and row != GROUND and col != GROUND:
+        jac[row, col] += value
+
+
+class Resistor:
+    """Linear resistor between two nodes."""
+
+    def __init__(self, n1: int, n2: int, resistance_ohm: float):
+        if resistance_ohm <= 0.0:
+            raise ValueError(f"resistance must be positive, got {resistance_ohm}")
+        self.nodes = (n1, n2)
+        self.resistance_ohm = float(resistance_ohm)
+
+    def stamp_static(self, v, f, jac) -> None:
+        n1, n2 = self.nodes
+        g = 1.0 / self.resistance_ohm
+        i = g * (voltage_at(v, n1) - voltage_at(v, n2))
+        _add_current(f, n1, i)
+        _add_current(f, n2, -i)
+        _add_jac(jac, n1, n1, g)
+        _add_jac(jac, n1, n2, -g)
+        _add_jac(jac, n2, n1, -g)
+        _add_jac(jac, n2, n2, g)
+
+    def capacitor_stamps(self, v):
+        return []
+
+
+class Capacitor:
+    """Linear capacitor between two nodes."""
+
+    def __init__(self, n1: int, n2: int, capacitance_f: float):
+        if capacitance_f < 0.0:
+            raise ValueError(f"capacitance must be >= 0, got {capacitance_f}")
+        self.nodes = (n1, n2)
+        self.capacitance_f = float(capacitance_f)
+
+    def stamp_static(self, v, f, jac) -> None:
+        return None
+
+    def capacitor_stamps(self, v):
+        return [(self.nodes[0], self.nodes[1], self.capacitance_f)]
+
+
+class CurrentSource:
+    """Constant current injected from ``n_from`` into ``n_to``."""
+
+    def __init__(self, n_from: int, n_to: int, current_a: float):
+        self.nodes = (n_from, n_to)
+        self.current_a = float(current_a)
+
+    def stamp_static(self, v, f, jac) -> None:
+        _add_current(f, self.nodes[0], self.current_a)
+        _add_current(f, self.nodes[1], -self.current_a)
+
+    def capacitor_stamps(self, v):
+        return []
+
+
+class TableFET:
+    """Extrinsic GNRFET: lookup-table intrinsic device + parasitic caps.
+
+    Parameters
+    ----------
+    drain, gate, source:
+        Node indices (the builders put the contact resistors outside, so
+        these are the *intrinsic* terminals).
+    table:
+        The intrinsic :class:`DeviceTable` (already composed over the GNR
+        array and carrying the gate work-function offset).
+    polarity:
+        ``+1`` for n-type, ``-1`` for p-type.  A p-device is the
+        electron-hole mirror of its table:
+        ``I_p(v_gs, v_ds) = -I_table(-v_gs, -v_ds)``.
+    c_par_gs_f, c_par_gd_f:
+        Extrinsic junction capacitances (``C_GS,e``, ``C_GD,e``).
+    """
+
+    def __init__(self, drain: int, gate: int, source: int,
+                 table: DeviceTable, polarity: int = +1,
+                 c_par_gs_f: float = 0.0, c_par_gd_f: float = 0.0):
+        if polarity not in (+1, -1):
+            raise ValueError(f"polarity must be +1 or -1, got {polarity}")
+        self.nodes = (drain, gate, source)
+        self.table = table
+        self.polarity = polarity
+        self.c_par_gs_f = float(c_par_gs_f)
+        self.c_par_gd_f = float(c_par_gd_f)
+
+    def _bias(self, v) -> tuple[float, float]:
+        d, g, s = self.nodes
+        vgs = voltage_at(v, g) - voltage_at(v, s)
+        vds = voltage_at(v, d) - voltage_at(v, s)
+        return vgs, vds
+
+    def stamp_static(self, v, f, jac) -> None:
+        d, g, s = self.nodes
+        vgs, vds = self._bias(v)
+        p = self.polarity
+        i, di_dvgs, di_dvds = self.table.current_and_derivatives(
+            p * vgs, p * vds)
+        i = p * float(i)
+        di_dvgs = float(di_dvgs)
+        di_dvds = float(di_dvds)
+        # Current flows drain -> source inside the device for i > 0.
+        _add_current(f, d, i)
+        _add_current(f, s, -i)
+        # dI/dVd = di_dvds ; dI/dVg = di_dvgs ; dI/dVs = -(both).
+        _add_jac(jac, d, d, di_dvds)
+        _add_jac(jac, d, g, di_dvgs)
+        _add_jac(jac, d, s, -(di_dvds + di_dvgs))
+        _add_jac(jac, s, d, -di_dvds)
+        _add_jac(jac, s, g, -di_dvgs)
+        _add_jac(jac, s, s, di_dvds + di_dvgs)
+
+    def capacitor_stamps(self, v):
+        d, g, s = self.nodes
+        vgs, vds = self._bias(v)
+        p = self.polarity
+        cgs_i, cgd_i = self.table.capacitances(p * vgs, p * vds)
+        return [
+            (g, s, float(cgs_i) + self.c_par_gs_f),
+            (g, d, float(cgd_i) + self.c_par_gd_f),
+        ]
+
+    def current(self, v) -> float:
+        """Drain-to-source channel current at node voltages ``v``."""
+        vgs, vds = self._bias(v)
+        p = self.polarity
+        return p * float(self.table.current(p * vgs, p * vds))
+
+
+class CompactMOSFET:
+    """FET driven by a compact model (the scaled-CMOS baseline).
+
+    ``model`` must provide ``ids(vgs, vds)`` returning
+    ``(i, di_dvgs, di_dvds)`` for an n-type device in its first quadrant,
+    and ``capacitances(vgs, vds)`` returning ``(cgs, cgd)`` in farads.
+    p-type devices mirror the model exactly like :class:`TableFET`.
+    """
+
+    def __init__(self, drain: int, gate: int, source: int, model,
+                 polarity: int = +1):
+        if polarity not in (+1, -1):
+            raise ValueError(f"polarity must be +1 or -1, got {polarity}")
+        self.nodes = (drain, gate, source)
+        self.model = model
+        self.polarity = polarity
+
+    def _bias(self, v) -> tuple[float, float]:
+        d, g, s = self.nodes
+        vgs = voltage_at(v, g) - voltage_at(v, s)
+        vds = voltage_at(v, d) - voltage_at(v, s)
+        return vgs, vds
+
+    def stamp_static(self, v, f, jac) -> None:
+        d, g, s = self.nodes
+        vgs, vds = self._bias(v)
+        p = self.polarity
+        i, di_dvgs, di_dvds = self.model.ids(p * vgs, p * vds)
+        i = p * float(i)
+        di_dvgs = float(di_dvgs)
+        di_dvds = float(di_dvds)
+        _add_current(f, d, i)
+        _add_current(f, s, -i)
+        _add_jac(jac, d, d, di_dvds)
+        _add_jac(jac, d, g, di_dvgs)
+        _add_jac(jac, d, s, -(di_dvds + di_dvgs))
+        _add_jac(jac, s, d, -di_dvds)
+        _add_jac(jac, s, g, -di_dvgs)
+        _add_jac(jac, s, s, di_dvds + di_dvgs)
+
+    def capacitor_stamps(self, v):
+        d, g, s = self.nodes
+        vgs, vds = self._bias(v)
+        p = self.polarity
+        cgs, cgd = self.model.capacitances(p * vgs, p * vds)
+        return [(g, s, float(cgs)), (g, d, float(cgd))]
+
+    def current(self, v) -> float:
+        vgs, vds = self._bias(v)
+        p = self.polarity
+        i, _, _ = self.model.ids(p * vgs, p * vds)
+        return p * float(i)

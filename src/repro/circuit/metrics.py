@@ -1,0 +1,121 @@
+"""Waveform post-processing: delays, oscillation frequency, power/energy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def crossing_times(
+    time_s: np.ndarray,
+    signal_v: np.ndarray,
+    threshold_v: float,
+    direction: str = "both",
+) -> np.ndarray:
+    """Linearly interpolated times where a waveform crosses a threshold.
+
+    ``direction`` selects ``"rising"``, ``"falling"`` or ``"both"`` edges.
+    """
+    t = np.asarray(time_s, dtype=float)
+    x = np.asarray(signal_v, dtype=float) - threshold_v
+    if t.shape != x.shape:
+        raise ValueError("time and signal must have the same shape")
+    s0, s1 = x[:-1], x[1:]
+    rising = (s0 < 0.0) & (s1 >= 0.0)
+    falling = (s0 > 0.0) & (s1 <= 0.0)
+    if direction == "rising":
+        mask = rising
+    elif direction == "falling":
+        mask = falling
+    elif direction == "both":
+        mask = rising | falling
+    else:
+        raise ValueError(f"direction must be rising/falling/both, got {direction!r}")
+    idx = np.where(mask)[0]
+    if idx.size == 0:
+        return np.empty(0)
+    frac = s0[idx] / (s0[idx] - s1[idx])
+    return t[idx] + frac * (t[idx + 1] - t[idx])
+
+
+def propagation_delays(
+    time_s: np.ndarray,
+    v_in: np.ndarray,
+    v_out: np.ndarray,
+    vdd: float,
+    out_threshold_v: float | None = None,
+) -> tuple[float, float]:
+    """``(t_pLH, t_pHL)`` between 50% crossings of input and output.
+
+    ``t_pLH`` is measured from a falling input edge to the subsequent
+    rising output edge (output going Low-to-High), and vice versa.  The
+    first matching edge pair after each input transition is used and the
+    results averaged over all transitions found.
+
+    ``out_threshold_v`` overrides the output crossing level (default
+    ``vdd / 2``); pass the mid-swing level for degraded cells whose
+    output no longer reaches the rails.
+    """
+    half = 0.5 * vdd
+    half_out = half if out_threshold_v is None else float(out_threshold_v)
+    in_fall = crossing_times(time_s, v_in, half, "falling")
+    in_rise = crossing_times(time_s, v_in, half, "rising")
+    out_rise = crossing_times(time_s, v_out, half_out, "rising")
+    out_fall = crossing_times(time_s, v_out, half_out, "falling")
+
+    def pair(starts: np.ndarray, ends: np.ndarray) -> float:
+        delays = []
+        for t0 in starts:
+            later = ends[ends > t0]
+            if later.size:
+                delays.append(later[0] - t0)
+        if not delays:
+            raise AnalysisError("no matching output edge for an input edge")
+        return float(np.mean(delays))
+
+    return pair(in_fall, out_rise), pair(in_rise, out_fall)
+
+
+def oscillation_frequency(
+    time_s: np.ndarray,
+    signal_v: np.ndarray,
+    vdd: float,
+    settle_fraction: float = 0.4,
+    min_periods: int = 2,
+) -> float:
+    """Frequency of a settled oscillation from mean rising-edge spacing.
+
+    The first ``settle_fraction`` of the record is discarded (start-up);
+    at least ``min_periods + 1`` rising edges must remain.
+    """
+    t = np.asarray(time_s, dtype=float)
+    start = t[0] + settle_fraction * (t[-1] - t[0])
+    mask = t >= start
+    edges = crossing_times(t[mask], np.asarray(signal_v)[mask],
+                           0.5 * vdd, "rising")
+    if edges.size < min_periods + 1:
+        raise AnalysisError(
+            f"only {edges.size} rising edges after settling; "
+            "no sustained oscillation detected")
+    periods = np.diff(edges)
+    return float(1.0 / np.mean(periods))
+
+
+def average_power_w(
+    time_s: np.ndarray,
+    supply_current_a: np.ndarray,
+    vdd: float,
+    settle_fraction: float = 0.0,
+) -> float:
+    """Mean power delivered by a constant-voltage supply."""
+    t = np.asarray(time_s, dtype=float)
+    i = np.asarray(supply_current_a, dtype=float)
+    if t.shape != i.shape:
+        raise ValueError("time and current must have the same shape")
+    start = t[0] + settle_fraction * (t[-1] - t[0])
+    mask = t >= start
+    if mask.sum() < 2:
+        raise AnalysisError("not enough samples after settling")
+    energy = np.trapezoid(i[mask], t[mask])
+    return float(vdd * energy / (t[mask][-1] - t[mask][0]))

@@ -1,0 +1,128 @@
+"""Netlists: named nodes, elements, fixed (source-driven) nodes.
+
+The engine uses nodal analysis with *fixed nodes* instead of explicit
+voltage-source branches: every voltage source in the paper's circuits
+(supply rails, input drivers) is ground-referenced, so pinning node
+voltages is equivalent to full MNA and keeps the Jacobian square in the
+free node voltages.  The current delivered by a source is recovered after
+the solve by evaluating the KCL residual at its node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import CircuitError
+
+GROUND = -1
+"""Node index of the reference node (0 V)."""
+
+
+class Element(Protocol):
+    """Anything that can stamp currents and capacitances into the solver.
+
+    ``stamp_static`` adds each terminal's *outflowing* static current to
+    the residual ``f`` and its voltage derivatives to the Jacobian ``jac``
+    (full-size arrays indexed by node; ground rows are dropped later).
+    ``capacitor_stamps`` returns the element's bias-dependent two-terminal
+    capacitances as ``(node_a, node_b, farads)`` triples; the transient
+    engine turns them into companion currents.
+    """
+
+    nodes: tuple[int, ...]
+
+    def stamp_static(self, v: np.ndarray, f: np.ndarray,
+                     jac: np.ndarray | None) -> None: ...
+
+    def capacitor_stamps(
+        self, v: np.ndarray) -> list[tuple[int, int, float]]: ...
+
+
+def voltage_at(v: np.ndarray, node: int) -> float:
+    """Voltage of ``node`` with ground folded in."""
+    return 0.0 if node == GROUND else float(v[node])
+
+
+class Circuit:
+    """A flat netlist of elements over named nodes."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._node_ids: dict[str, int] = {}
+        self.elements: list = []
+        #: Fixed node voltages: node index -> value or callable(t) -> value.
+        self.fixed: dict[int, float | Callable[[float], float]] = {}
+
+    # --- nodes ----------------------------------------------------------------
+    def node(self, name: str) -> int:
+        """Return (creating if needed) the index of a named node.
+
+        The names ``"0"``, ``"gnd"`` and ``"ground"`` refer to the
+        reference node.
+        """
+        if name in ("0", "gnd", "ground"):
+            return GROUND
+        if name not in self._node_ids:
+            self._node_ids[name] = len(self._node_ids)
+        return self._node_ids[name]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_ids)
+
+    def node_name(self, index: int) -> str:
+        """Inverse lookup (for diagnostics)."""
+        if index == GROUND:
+            return "gnd"
+        for name, idx in self._node_ids.items():
+            if idx == index:
+                return name
+        raise CircuitError(f"unknown node index {index}")
+
+    # --- construction -----------------------------------------------------------
+    def add(self, element) -> None:
+        """Add an element (anything satisfying the Element protocol)."""
+        self.elements.append(element)
+
+    def fix(self, node: int | str,
+            value: float | Callable[[float], float]) -> None:
+        """Pin a node to a voltage (number) or waveform (callable of time)."""
+        idx = self.node(node) if isinstance(node, str) else node
+        if idx == GROUND:
+            raise CircuitError("cannot fix the ground node")
+        self.fixed[idx] = value
+
+    # --- solver support -----------------------------------------------------------
+    def fixed_voltages(self, t: float = 0.0) -> dict[int, float]:
+        """Evaluate all fixed nodes at time ``t``."""
+        out = {}
+        for node, value in self.fixed.items():
+            out[node] = float(value(t)) if callable(value) else float(value)
+        return out
+
+    def free_nodes(self) -> np.ndarray:
+        """Indices of nodes solved for (not ground, not fixed)."""
+        return np.array([i for i in range(self.n_nodes) if i not in self.fixed],
+                        dtype=int)
+
+    def validate(self) -> None:
+        """Sanity-check the netlist before solving."""
+        if self.n_nodes == 0:
+            raise CircuitError("circuit has no nodes")
+        if not self.elements:
+            raise CircuitError("circuit has no elements")
+        touched = np.zeros(self.n_nodes, dtype=bool)
+        for el in self.elements:
+            for n in el.nodes:
+                if n != GROUND:
+                    if n >= self.n_nodes or n < 0:
+                        raise CircuitError(
+                            f"element {el!r} references unknown node {n}")
+                    touched[n] = True
+        untouched = [self.node_name(i) for i in range(self.n_nodes)
+                     if not touched[i] and i not in self.fixed]
+        if untouched:
+            raise CircuitError(f"dangling nodes with no elements: {untouched}")

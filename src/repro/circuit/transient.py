@@ -1,0 +1,232 @@
+"""Transient analysis: trapezoidal integration with per-step Newton.
+
+Every dynamic element reduces to bias-dependent two-terminal capacitances
+(see :class:`repro.circuit.netlist.Element`), so the integrator builds
+trapezoidal companion models generically:
+
+``i_C^{n+1} = (2C/h) (v^{n+1} - v^n) - i_C^n``
+
+with ``C`` evaluated at the previous converged solution (semi-implicit in
+the bias dependence — standard practice for table-based simulators and
+accurate for the smooth Q-V characteristics here).  The per-capacitor
+companion current is part of the integrator state.
+
+Non-converging steps are retried with halved step size; the supply current
+is recorded every step so energy and power integrate directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit, GROUND, voltage_at
+from repro.errors import ConvergenceError
+
+
+@dataclass
+class TransientResult:
+    """Waveforms of a transient run.
+
+    Attributes
+    ----------
+    time_s:
+        Time points (first entry is ``t0`` with the initial condition).
+    voltages:
+        Node voltages, shape ``(n_steps, n_nodes)``.
+    supply_currents:
+        For each monitored source node: current delivered by the source at
+        each time point, keyed by node index.
+    """
+
+    circuit: Circuit
+    time_s: np.ndarray
+    voltages: np.ndarray
+    supply_currents: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def v(self, node: int | str) -> np.ndarray:
+        idx = self.circuit.node(node) if isinstance(node, str) else node
+        if idx == GROUND:
+            return np.zeros_like(self.time_s)
+        return self.voltages[:, idx]
+
+    def supply_energy_j(self, node: int | str) -> float:
+        """Energy delivered by the source at ``node`` over the whole run."""
+        idx = self.circuit.node(node) if isinstance(node, str) else node
+        if idx not in self.supply_currents:
+            raise KeyError(f"node {idx} was not monitored; pass it in "
+                           "monitor_supplies when simulating")
+        volt = self.v(idx)
+        return float(np.trapezoid(self.supply_currents[idx] * volt,
+                                  self.time_s))
+
+
+def _collect_caps(circuit: Circuit, v: np.ndarray
+                  ) -> list[tuple[int, int, float]]:
+    stamps: list[tuple[int, int, float]] = []
+    for el in circuit.elements:
+        stamps.extend(el.capacitor_stamps(v))
+    return stamps
+
+
+def _step_newton(circuit: Circuit, v_guess: np.ndarray, free: np.ndarray,
+                 caps: list[tuple[int, int, float]],
+                 i_cap_prev: np.ndarray, v_prev: np.ndarray, h: float,
+                 gmin: float, tol_a: float, max_iter: int,
+                 damping_v: float, backward_euler: bool = False
+                 ) -> tuple[np.ndarray, np.ndarray, bool]:
+    """One integration step; returns (v, new companion currents, ok).
+
+    Trapezoidal by default; ``backward_euler=True`` is used for the very
+    first step (and could be used after discontinuities), where the
+    trapezoidal companion current is not yet known - the classic SPICE
+    startup rule.
+    """
+    n = circuit.n_nodes
+    v = v_guess.copy()
+    for _ in range(max_iter):
+        f = np.zeros(n)
+        jac = np.zeros((n, n))
+        for el in circuit.elements:
+            el.stamp_static(v, f, jac)
+        i_cap_new = np.empty(len(caps))
+        for k, (a, b, c) in enumerate(caps):
+            dv_now = voltage_at(v, a) - voltage_at(v, b)
+            dv_old = voltage_at(v_prev, a) - voltage_at(v_prev, b)
+            if backward_euler:
+                geq = c / h
+                i_k = geq * (dv_now - dv_old)
+            else:
+                geq = 2.0 * c / h
+                i_k = geq * (dv_now - dv_old) - i_cap_prev[k]
+            i_cap_new[k] = i_k
+            if a != GROUND:
+                f[a] += i_k
+                jac[a, a] += geq
+                if b != GROUND:
+                    jac[a, b] -= geq
+            if b != GROUND:
+                f[b] -= i_k
+                jac[b, b] += geq
+                if a != GROUND:
+                    jac[b, a] -= geq
+        f += gmin * v
+        jac[np.diag_indices(n)] += gmin
+
+        residual = f[free]
+        if np.max(np.abs(residual)) < tol_a:
+            return v, i_cap_new, True
+        try:
+            dv = np.linalg.solve(jac[np.ix_(free, free)], -residual)
+        except np.linalg.LinAlgError:
+            return v, i_cap_new, False
+        if not np.all(np.isfinite(dv)):
+            return v, i_cap_new, False
+        max_step = np.max(np.abs(dv))
+        if max_step > damping_v:
+            dv *= damping_v / max_step
+        v[free] += dv
+    return v, i_cap_prev, False
+
+
+def simulate_transient(
+    circuit: Circuit,
+    t_end_s: float,
+    dt_s: float,
+    v0: np.ndarray,
+    monitor_supplies: tuple[int | str, ...] = (),
+    gmin: float = 1e-12,
+    tol_a: float = 1e-13,
+    max_iter: int = 40,
+    damping_v: float = 0.3,
+    max_step_halvings: int = 8,
+) -> TransientResult:
+    """Integrate the circuit from the initial state ``v0``.
+
+    Parameters
+    ----------
+    v0:
+        Initial node voltages (use :func:`repro.circuit.dc.solve_dc` for a
+        consistent start).  Fixed-node waveforms are re-evaluated every
+        step, so time-varying inputs are just callables registered with
+        :meth:`Circuit.fix`.
+    monitor_supplies:
+        Fixed nodes whose delivered current should be recorded (e.g. the
+        VDD rail, for power metrics).
+    """
+    circuit.validate()
+    if dt_s <= 0.0 or t_end_s <= 0.0:
+        raise ValueError("time step and end time must be positive")
+    free = circuit.free_nodes()
+    n = circuit.n_nodes
+
+    monitor = [circuit.node(m) if isinstance(m, str) else m
+               for m in monitor_supplies]
+
+    v = np.asarray(v0, dtype=float).copy()
+    if v.shape != (n,):
+        raise ValueError(f"v0 must have shape ({n},), got {v.shape}")
+    for node, value in circuit.fixed_voltages(0.0).items():
+        v[node] = value
+
+    times = [0.0]
+    traj = [v.copy()]
+    supply_traces: dict[int, list[float]] = {m: [] for m in monitor}
+
+    def record_supplies(v_now: np.ndarray) -> None:
+        if not monitor:
+            return
+        f = np.zeros(n)
+        for el in circuit.elements:
+            el.stamp_static(v_now, f, None)
+        # Static current only; capacitive displacement currents integrate
+        # to ~zero over a cycle and the builders put decoupling caps on
+        # rails anyway.  The dynamic supply charge is added by the caller
+        # from the waveforms when needed.
+        for m in monitor:
+            supply_traces[m].append(float(f[m]))
+
+    # Initial capacitor state: zero companion current (consistent DC start).
+    caps = _collect_caps(circuit, v)
+    i_cap = np.zeros(len(caps))
+    record_supplies(v)
+
+    t = 0.0
+    first_step = True
+    while t < t_end_s - 1e-21:
+        h = min(dt_s, t_end_s - t)
+        ok = False
+        for _ in range(max_step_halvings + 1):
+            v_try = v.copy()
+            for node, value in circuit.fixed_voltages(t + h).items():
+                v_try[node] = value
+            caps = _collect_caps(circuit, v)
+            if len(caps) != i_cap.size:
+                raise ConvergenceError(
+                    "element capacitor count changed during simulation")
+            v_new, i_cap_new, ok = _step_newton(
+                circuit, v_try, free, caps, i_cap, v, h,
+                gmin, tol_a, max_iter, damping_v,
+                backward_euler=first_step)
+            if ok:
+                break
+            h *= 0.5
+        if not ok:
+            raise ConvergenceError(
+                f"transient step failed to converge at t = {t:.3e} s "
+                f"even after {max_step_halvings} step halvings")
+        t += h
+        v = v_new
+        i_cap = i_cap_new
+        first_step = False
+        times.append(t)
+        traj.append(v.copy())
+        record_supplies(v)
+
+    return TransientResult(
+        circuit=circuit,
+        time_s=np.array(times),
+        voltages=np.array(traj),
+        supply_currents={m: np.array(tr) for m, tr in supply_traces.items()},
+    )

@@ -1,0 +1,37 @@
+"""Voltage transfer curves by swept DC solves."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.dc import solve_dc
+from repro.circuit.netlist import Circuit
+
+
+def compute_vtc(
+    circuit: Circuit,
+    input_node: int | str,
+    output_node: int | str,
+    vin_grid: np.ndarray,
+) -> np.ndarray:
+    """Output voltage for each input voltage.
+
+    The input node must already be a fixed node of the circuit; its value
+    is overwritten point by point.  Continuation (warm-starting each solve
+    from the previous point) makes the sweep fast and keeps the solver on
+    one branch of the curve.
+    """
+    vin_grid = np.asarray(vin_grid, dtype=float)
+    in_idx = circuit.node(input_node) if isinstance(input_node, str) else input_node
+    out_idx = circuit.node(output_node) if isinstance(output_node, str) else output_node
+    if in_idx not in circuit.fixed:
+        raise ValueError("input node must be fixed (driven) in the circuit")
+
+    vout = np.empty_like(vin_grid)
+    v_prev = None
+    for i, vin in enumerate(vin_grid):
+        circuit.fixed[in_idx] = float(vin)
+        result = solve_dc(circuit, v0=v_prev)
+        v_prev = result.voltages
+        vout[i] = result.voltage(out_idx)
+    return vout

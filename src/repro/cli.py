@@ -1,0 +1,75 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    repro list
+    repro run fig4 [--fast] [--out report.txt]
+    repro run all [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.reporting.experiments import EXPERIMENTS, run_experiment
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key in EXPERIMENTS:
+        description, _ = EXPERIMENTS[key]
+        print(f"{key.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports = []
+    for target in targets:
+        if target not in EXPERIMENTS:
+            print(f"unknown experiment {target!r}; try 'repro list'",
+                  file=sys.stderr)
+            return 2
+        start = time.time()
+        report, _ = run_experiment(target, fast=args.fast)
+        elapsed = time.time() - start
+        banner = f"=== {target} ({elapsed:.1f} s) ==="
+        reports.append(banner + "\n" + report)
+        print(banner)
+        print(report)
+        print()
+    if args.out:
+        Path(args.out).write_text("\n\n".join(reports) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Technology exploration for graphene "
+                    "nanoribbon FETs' (DAC 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment id or 'all'")
+    p_run.add_argument("--fast", action="store_true",
+                       help="reduced resolution for a quick pass")
+    p_run.add_argument("--out", help="also write the report to a file")
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Scaled-CMOS baseline (paper Table 1 comparison).
+
+The paper simulates 22/32/45 nm CMOS with the PTM predictive models
+[Cao et al., CICC 2000].  The BSIM card files are not reproducible here,
+so this package provides a physically-structured compact model
+(alpha-power-law strong inversion + exponential subthreshold) whose
+per-node parameters are calibrated to the aggregate figures the paper's
+Table 1 reports (frequency / EDP / SNM of the 15-stage FO4 ring
+oscillator at V_DD = 0.8/0.6/0.4 V).  See DESIGN.md, substitution table.
+
+The model plugs into the *same* circuit engine as the GNRFET tables
+(:class:`repro.circuit.elements.CompactMOSFET`), so the GNRFET-vs-CMOS
+comparison is apples-to-apples at the simulator level.
+"""
+
+from repro.cmos.mosfet import AlphaPowerMOSFET
+from repro.cmos.ptm import PTMNode, ptm_node, PTM_NODES
+from repro.cmos.circuits import (
+    cmos_inverter_vtc,
+    cmos_inverter_snm,
+    cmos_inverter_static_power_w,
+    estimate_cmos_ring_oscillator,
+)
+
+__all__ = [
+    "AlphaPowerMOSFET",
+    "PTMNode",
+    "ptm_node",
+    "PTM_NODES",
+    "cmos_inverter_vtc",
+    "cmos_inverter_snm",
+    "cmos_inverter_static_power_w",
+    "estimate_cmos_ring_oscillator",
+]

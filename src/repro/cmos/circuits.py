@@ -1,0 +1,103 @@
+"""CMOS circuit metrics on the shared circuit engine.
+
+Builds CMOS inverters/ring oscillators out of
+:class:`repro.circuit.elements.CompactMOSFET` devices and reuses the
+metric definitions of :mod:`repro.circuit` so that Table 1's
+GNRFET-vs-CMOS comparison holds the simulator fixed and varies only the
+technology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.dc import solve_dc
+from repro.circuit.elements import CompactMOSFET
+from repro.circuit.netlist import Circuit
+from repro.circuit.ring_oscillator import RingOscillatorMetrics
+from repro.circuit.snm import butterfly_curves, static_noise_margin
+from repro.circuit.vtc import compute_vtc
+from repro.cmos.ptm import PTMNode
+from repro.errors import AnalysisError
+
+
+def _build_cmos_inverter(node: PTMNode, vdd: float) -> Circuit:
+    circuit = Circuit(f"cmos-inv-{node.label}")
+    vin = circuit.node("in")
+    vout = circuit.node("out")
+    vdd_node = circuit.node("vdd")
+    gnd = circuit.node("0")
+    circuit.fix(vdd_node, vdd)
+    circuit.fix(vin, 0.0)
+    circuit.add(CompactMOSFET(vout, vin, gnd, node.nmos, polarity=+1))
+    circuit.add(CompactMOSFET(vout, vin, vdd_node, node.pmos, polarity=-1))
+    return circuit
+
+
+def cmos_inverter_vtc(node: PTMNode, vdd: float,
+                      n_points: int = 81) -> tuple[np.ndarray, np.ndarray]:
+    """Voltage transfer curve of the node's inverter."""
+    circuit = _build_cmos_inverter(node, vdd)
+    grid = np.linspace(0.0, vdd, n_points)
+    return grid, compute_vtc(circuit, "in", "out", grid)
+
+
+def cmos_inverter_snm(node: PTMNode, vdd: float) -> float:
+    """SNM of the CMOS inverter pair."""
+    vin, vout = cmos_inverter_vtc(node, vdd)
+    return static_noise_margin(butterfly_curves(vin, vout))
+
+
+def cmos_inverter_static_power_w(node: PTMNode, vdd: float) -> float:
+    """Average leakage power over the two input states."""
+    circuit = _build_cmos_inverter(node, vdd)
+    vin = circuit.node("in")
+    vdd_node = circuit.node("vdd")
+    leak = 0.0
+    for v in (0.0, vdd):
+        circuit.fixed[vin] = v
+        result = solve_dc(circuit)
+        leak += abs(result.source_current(vdd_node))
+    return vdd * leak / 2.0
+
+
+def _effective_drive_a(device, vdd: float) -> float:
+    i1, _, _ = device.ids(vdd, vdd)
+    i2, _, _ = device.ids(vdd, vdd / 2.0)
+    return 0.5 * (i1 + i2)
+
+
+def estimate_cmos_ring_oscillator(
+    node: PTMNode,
+    vdd: float,
+    n_stages: int = 15,
+    fanout: int = 4,
+) -> RingOscillatorMetrics:
+    """Quasi-static 15-stage FO4 ring-oscillator metrics for one node.
+
+    Mirrors :func:`repro.circuit.ring_oscillator.estimate_ring_oscillator`
+    with the compact model's constant capacitances (the integral of C dV
+    collapses to C * V_DD).
+    """
+    cg = (node.nmos.cgs_f + node.nmos.cgd_f
+          + node.pmos.cgs_f + node.pmos.cgd_f)
+    q_load = fanout * cg * vdd
+    q_self = (node.nmos.cgd_f + node.pmos.cgd_f) * vdd
+
+    i_n = _effective_drive_a(node.nmos, vdd)
+    i_p = _effective_drive_a(node.pmos, vdd)
+    if i_n <= 0.0 or i_p <= 0.0:
+        raise AnalysisError("CMOS device has no drive at this supply")
+    q_total = q_load + q_self
+    stage_delay = 0.25 * q_total * (1.0 / i_n + 1.0 / i_p)
+
+    freq = 1.0 / (2.0 * n_stages * stage_delay)
+    e_cycle_stage = q_total * vdd
+    p_dyn = n_stages * e_cycle_stage * freq
+    p_stat = n_stages * fanout * cmos_inverter_static_power_w(node, vdd)
+    p_total = p_dyn + p_stat
+    edp = (p_total / freq) * stage_delay
+    return RingOscillatorMetrics(
+        frequency_hz=freq, stage_delay_s=stage_delay,
+        total_power_w=p_total, static_power_w=p_stat,
+        dynamic_power_w=p_dyn, edp_j_s=edp, vdd=vdd, n_stages=n_stages)

@@ -1,0 +1,127 @@
+"""Alpha-power-law MOSFET compact model with subthreshold conduction.
+
+Sakurai-Newton alpha-power law (the standard short-channel hand model)
+for strong inversion, stitched to an exponential subthreshold law, plus
+channel-length modulation.  The model exposes the ``ids`` /
+``capacitances`` interface consumed by
+:class:`repro.circuit.elements.CompactMOSFET` so CMOS circuits run on the
+same engine as the GNRFET tables.
+
+Strong inversion (v_gs > v_t):
+
+``I_sat = b (v_gs - v_t)^alpha``
+``v_dsat = k_v (v_gs - v_t)^(alpha/2)``
+``I = I_sat (2 - v_ds/v_dsat)(v_ds/v_dsat)``   (triode, v_ds < v_dsat)
+``I = I_sat (1 + lambda_cl (v_ds - v_dsat))``  (saturation)
+
+Subthreshold:
+
+``I_sub = i0 exp((v_gs - v_t)/(n_ss v_T)) (1 - exp(-v_ds/v_T))``
+
+The two are summed; at ``v_gs = v_t`` the subthreshold term is pinned to
+``i0``, the strong-inversion term is zero, and the sum is smooth enough
+for Newton with damping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.constants import KT_ROOM_EV
+
+
+@dataclass(frozen=True)
+class AlphaPowerMOSFET:
+    """One n-type (first-quadrant) compact device; p-types are mirrored
+    by the circuit element.
+
+    Attributes
+    ----------
+    vt_v:
+        Threshold voltage.
+    b_a_per_valpha:
+        Drive strength ``b`` of the alpha-power law (A / V^alpha).
+    alpha:
+        Velocity-saturation index (2 = long channel, ~1.2-1.4 scaled).
+    vdsat_coeff:
+        ``k_v`` in the saturation-voltage law (V^(1 - alpha/2)).
+    channel_length_modulation:
+        ``lambda_cl`` (1/V).
+    i0_a:
+        Subthreshold current at ``v_gs = v_t`` (A).
+    subthreshold_ideality:
+        ``n_ss`` (SS = n_ss * 60 mV/dec at 300 K).
+    cgs_f, cgd_f:
+        Gate-source / gate-drain capacitances (constant; adequate for
+        delay/energy at the inverter level).
+    """
+
+    vt_v: float
+    b_a_per_valpha: float
+    alpha: float
+    vdsat_coeff: float
+    channel_length_modulation: float
+    i0_a: float
+    subthreshold_ideality: float
+    cgs_f: float
+    cgd_f: float
+
+    def ids(self, vgs: float, vds: float) -> tuple[float, float, float]:
+        """``(I, dI/dv_gs, dI/dv_ds)`` in the first quadrant.
+
+        Negative ``v_ds`` is folded by source/drain symmetry (same rule
+        as the table devices).
+        """
+        if vds < 0.0:
+            i, di_dvgs, di_dvds = self.ids(vgs - vds, -vds)
+            return -i, -di_dvgs, di_dvgs + di_dvds
+
+        vt_th = KT_ROOM_EV  # thermal voltage in volts
+        n = self.subthreshold_ideality
+
+        # Subthreshold component (active at all v_gs; negligible far above
+        # threshold because the strong-inversion term dominates).
+        x = (vgs - self.vt_v) / (n * vt_th)
+        x = min(x, 0.0) if vgs > self.vt_v else x
+        e = math.exp(x)
+        d_fac = 1.0 - math.exp(-vds / vt_th) if vds < 40.0 * vt_th else 1.0
+        i_sub = self.i0_a * e * d_fac
+        di_sub_dvgs = (self.i0_a * e / (n * vt_th)) * d_fac if vgs <= self.vt_v else 0.0
+        di_sub_dvds = self.i0_a * e * (math.exp(-vds / vt_th) / vt_th
+                                       if vds < 40.0 * vt_th else 0.0)
+
+        # Strong inversion.
+        vov = vgs - self.vt_v
+        if vov <= 0.0:
+            return i_sub, di_sub_dvgs, di_sub_dvds
+
+        i_sat = self.b_a_per_valpha * vov ** self.alpha
+        di_sat = self.alpha * i_sat / vov
+        vdsat = self.vdsat_coeff * vov ** (self.alpha / 2.0)
+        dvdsat = (self.alpha / 2.0) * vdsat / vov
+        lam = self.channel_length_modulation
+
+        if vds < vdsat:
+            u = vds / vdsat
+            shape = (2.0 - u) * u
+            i_si = i_sat * shape
+            dshape_du = 2.0 - 2.0 * u
+            di_si_dvds = i_sat * dshape_du / vdsat
+            # du/dvgs = -vds * dvdsat / vdsat^2
+            di_si_dvgs = di_sat * shape + i_sat * dshape_du * (
+                -vds * dvdsat / (vdsat * vdsat))
+        else:
+            grow = 1.0 + lam * (vds - vdsat)
+            i_si = i_sat * grow
+            di_si_dvds = i_sat * lam
+            di_si_dvgs = di_sat * grow - i_sat * lam * dvdsat
+
+        return (i_sub + i_si,
+                di_sub_dvgs + di_si_dvgs,
+                di_sub_dvds + di_si_dvds)
+
+    def capacitances(self, vgs: float, vds: float) -> tuple[float, float]:
+        """Constant ``(C_GS, C_GD)``."""
+        return self.cgs_f, self.cgd_f

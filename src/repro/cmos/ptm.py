@@ -1,0 +1,73 @@
+"""Per-node parameter sets for the scaled-CMOS baseline.
+
+Parameters are calibrated against the CMOS columns of the paper's
+Table 1 (frequency / EDP / SNM of the 15-stage FO4 ring oscillator at
+V_DD = 0.8 / 0.6 / 0.4 V for the 22 / 32 / 45 nm PTM nodes) — see
+``PAPER_TABLE1_CMOS`` in :mod:`repro.device.calibration` and the
+calibration test in ``tests/cmos/test_table1_calibration.py``.
+
+The paper's devices correspond to micron-wide PTM transistors (the PTM
+cards' default width); the fitted drive and capacitance values are in
+that regime.  The threshold of each node is the PTM high-performance
+value; subthreshold slope and leakage follow ITRS-era expectations
+(SS ~ 100 mV/dec short channel, I_off ~ 100-400 nA/um growing as nodes
+shrink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmos.mosfet import AlphaPowerMOSFET
+
+
+@dataclass(frozen=True)
+class PTMNode:
+    """One technology node: matched n/p devices plus bookkeeping."""
+
+    node_nm: int
+    nmos: AlphaPowerMOSFET
+    pmos: AlphaPowerMOSFET
+
+    @property
+    def label(self) -> str:
+        return f"{self.node_nm}nm"
+
+
+def _device(vt, b, alpha, vdsat_coeff, lam, i0, n_ss, cgs, cgd):
+    return AlphaPowerMOSFET(
+        vt_v=vt, b_a_per_valpha=b, alpha=alpha, vdsat_coeff=vdsat_coeff,
+        channel_length_modulation=lam, i0_a=i0,
+        subthreshold_ideality=n_ss, cgs_f=cgs, cgd_f=cgd)
+
+
+def _node(node_nm, vt, b_n, cg, i0, n_ss=1.6, alpha=1.3,
+          vdsat_coeff=0.9, lam=0.15, p_ratio=0.85):
+    """Build a node with a p-device slightly weaker than the n-device.
+
+    ``cg`` is the per-device gate capacitance, split 2:1 between C_GS and
+    C_GD (overlap/Miller portion).
+    """
+    cgs, cgd = 2.0 * cg / 3.0, cg / 3.0
+    nmos = _device(vt, b_n, alpha, vdsat_coeff, lam, i0, n_ss, cgs, cgd)
+    pmos = _device(vt, b_n * p_ratio, alpha, vdsat_coeff, lam,
+                   i0 * p_ratio, n_ss, cgs, cgd)
+    return PTMNode(node_nm=node_nm, nmos=nmos, pmos=pmos)
+
+
+#: Calibrated nodes (see module docstring).  Thresholds are PTM HP values;
+#: drive, capacitance and leakage are fitted to the paper's Table 1.
+PTM_NODES: dict[int, PTMNode] = {
+    22: _node(22, vt=0.311, b_n=5.97e-3, cg=3.21e-15, i0=2.16e-7),
+    32: _node(32, vt=0.306, b_n=7.87e-3, cg=5.35e-15, i0=1.50e-7),
+    45: _node(45, vt=0.294, b_n=9.87e-3, cg=8.67e-15, i0=1.05e-7),
+}
+
+
+def ptm_node(node_nm: int) -> PTMNode:
+    """Look up a calibrated node (22, 32 or 45 nm)."""
+    if node_nm not in PTM_NODES:
+        raise KeyError(
+            f"no calibrated PTM node at {node_nm} nm; "
+            f"available: {sorted(PTM_NODES)}")
+    return PTM_NODES[node_nm]

@@ -1,0 +1,51 @@
+"""GNRFET device layer: geometry, device engines, I-V sweeps, lookup tables.
+
+Two device engines produce the intrinsic ``I_D(V_G, V_D)`` / ``Q(V_G, V_D)``
+data that the circuit layer consumes:
+
+* :mod:`repro.device.sbfet` — fast semi-analytic ballistic Schottky-barrier
+  FET engine (two-band WKB tunneling + Landauer transport with
+  self-consistent top-of-barrier electrostatics).  This is the production
+  path for populating circuit lookup tables.
+* :mod:`repro.device.negf_device` — the reference self-consistent
+  NEGF + Poisson simulator (mode-space RGF transport on a 2-D electrostatic
+  cross-section), used for physics validation and the impurity band-profile
+  study (paper Fig. 5a).
+
+Both engines share the same atomistic band-structure inputs and the same
+:class:`~repro.device.geometry.GNRFETGeometry` specification.
+"""
+
+from repro.device.geometry import GNRFETGeometry, ChargeImpurity
+from repro.device.sbfet import SBFETModel, BiasPoint, SBFETSolution
+from repro.device.iv import IVSweep, sweep_iv
+from repro.device.tables import DeviceTable, build_device_table
+from repro.device.vt_extraction import extract_vt_linear
+from repro.device.negf_device import NEGFDevice, NEGFDeviceResult
+from repro.device.negf_realspace import (
+    RealSpaceGNRDevice,
+    RealSpaceTransport,
+    ideal_transmission_staircase,
+    longitudinal_onsite,
+    rough_edge_onsite,
+)
+
+__all__ = [
+    "RealSpaceGNRDevice",
+    "RealSpaceTransport",
+    "ideal_transmission_staircase",
+    "longitudinal_onsite",
+    "rough_edge_onsite",
+    "GNRFETGeometry",
+    "ChargeImpurity",
+    "SBFETModel",
+    "BiasPoint",
+    "SBFETSolution",
+    "IVSweep",
+    "sweep_iv",
+    "DeviceTable",
+    "build_device_table",
+    "extract_vt_linear",
+    "NEGFDevice",
+    "NEGFDeviceResult",
+]

@@ -1,0 +1,184 @@
+"""Device specification: geometry, electrostatic parameters, impurities.
+
+The simulated device follows Section 2 of the paper: a 15 nm-long
+armchair-edge GNR channel, double-gate geometry through 1.5 nm SiO2
+(eps_r = 3.9), metallic source/drain with Schottky barriers of half the
+channel band gap, operating as a Schottky-barrier FET.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.constants import (
+    EPS_0_F_PER_NM,
+    EPS_SIO2,
+    ROOM_TEMPERATURE_K,
+    gnr_width_nm,
+)
+from repro.atomistic.bandstructure import band_gap_ev
+from repro.atomistic.lattice import is_semiconducting_index
+from repro.errors import InvalidDeviceError
+
+#: Effective electrostatic thickness of a graphene monolayer (interlayer
+#: spacing of graphite), used for the natural-length estimate.
+GRAPHENE_THICKNESS_NM = 0.35
+
+
+@dataclass(frozen=True)
+class ChargeImpurity:
+    """A fixed Coulomb charge in the gate oxide.
+
+    The paper places the impurity "near the source and at a distance of
+    0.4 nm from the GNR surface" to exaggerate its effect on the Schottky
+    barrier, and varies both polarity and magnitude (+-q, +-2q).
+
+    Attributes
+    ----------
+    charge_e:
+        Signed charge in units of the elementary charge (e.g. ``-2.0``).
+    position_nm:
+        Position along the channel measured from the source contact.
+    height_nm:
+        Distance from the GNR surface into the oxide.
+    """
+
+    charge_e: float
+    position_nm: float = 1.0
+    height_nm: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.height_nm <= 0.0:
+            raise InvalidDeviceError(
+                f"impurity height must be positive, got {self.height_nm}")
+        if self.position_nm < 0.0:
+            raise InvalidDeviceError(
+                f"impurity position must be >= 0, got {self.position_nm}")
+
+    def mirrored(self) -> "ChargeImpurity":
+        """The impurity as seen by the complementary (p-type) device.
+
+        The paper notes: "a +q charge has the same effect on a pGNRFET
+        device as a -q charge has on an nGNRFET device, and vice versa."
+        Electron-hole mirroring flips the charge sign.
+        """
+        return replace(self, charge_e=-self.charge_e)
+
+
+@dataclass(frozen=True)
+class GNRFETGeometry:
+    """Complete specification of one intrinsic GNRFET ribbon.
+
+    Geometric and material parameters mirror the paper; the last three
+    fields are effective electrostatic parameters of the fast SBFET engine
+    calibrated against the paper's device anchors (see
+    :mod:`repro.device.calibration`).
+
+    Attributes
+    ----------
+    n_index:
+        A-GNR index of the channel ribbon (paper: N = 9 ... 18, nominal 12).
+    channel_length_nm:
+        Gated channel length (paper: 15 nm).
+    oxide_thickness_nm:
+        Gate insulator thickness per side, double-gate (paper: 1.5 nm SiO2).
+    eps_ox:
+        Relative permittivity of the gate insulator.
+    temperature_k:
+        Lattice/contact temperature.
+    impurity:
+        Optional oxide charge impurity.
+    gate_coupling:
+        Fraction of the gate voltage dropped onto the channel midgap in
+        the Laplace (zero-charge) limit; < 1 from capacitive division in
+        the double-gate stack.
+    drain_coupling:
+        DIBL-like fractional coupling of the drain onto the channel.
+    natural_length_nm:
+        Exponential decay length of the contact-induced band bending
+        (the double-gate natural length sqrt(eps_ch t_ch t_ox / (2 eps_ox))
+        is ~0.6 nm for this stack; the calibrated value absorbs fringing).
+    impurity_screening:
+        Multiplicative factor < 1 applied to the gate-image-screened
+        impurity potential to account for the additional screening by the
+        channel's own carriers and the nearby source metal, which the
+        image construction (grounded gates only) does not capture.
+    """
+
+    n_index: int = 12
+    channel_length_nm: float = 15.0
+    oxide_thickness_nm: float = 1.5
+    eps_ox: float = EPS_SIO2
+    temperature_k: float = ROOM_TEMPERATURE_K
+    impurity: ChargeImpurity | None = None
+    gate_coupling: float = 0.96
+    drain_coupling: float = 0.02
+    natural_length_nm: float = 0.9
+    impurity_screening: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not is_semiconducting_index(self.n_index):
+            # 3q+2 ribbons have a tiny gap; the paper excludes them.  They
+            # are still simulatable, but flag obviously invalid indices.
+            if self.n_index < 2:
+                raise InvalidDeviceError(f"invalid GNR index {self.n_index}")
+        if self.channel_length_nm <= 0.0:
+            raise InvalidDeviceError("channel length must be positive")
+        if self.oxide_thickness_nm <= 0.0:
+            raise InvalidDeviceError("oxide thickness must be positive")
+        if not 0.0 < self.gate_coupling <= 1.0:
+            raise InvalidDeviceError("gate coupling must be in (0, 1]")
+        if not 0.0 <= self.drain_coupling < 1.0:
+            raise InvalidDeviceError("drain coupling must be in [0, 1)")
+        if self.natural_length_nm <= 0.0:
+            raise InvalidDeviceError("natural length must be positive")
+        if not 0.0 < self.impurity_screening <= 1.0:
+            raise InvalidDeviceError("impurity screening must be in (0, 1]")
+
+    # --- derived quantities -------------------------------------------------
+    @property
+    def width_nm(self) -> float:
+        """Physical channel ribbon width."""
+        return gnr_width_nm(self.n_index)
+
+    @property
+    def band_gap_ev(self) -> float:
+        """Tight-binding band gap of the channel ribbon."""
+        return band_gap_ev(self.n_index)
+
+    @property
+    def schottky_barrier_ev(self) -> float:
+        """Electron (= hole) Schottky barrier height, E_g / 2 per the paper."""
+        return 0.5 * self.band_gap_ev
+
+    @property
+    def gate_separation_nm(self) -> float:
+        """Distance between the two gate planes of the double gate."""
+        return 2.0 * self.oxide_thickness_nm + GRAPHENE_THICKNESS_NM
+
+    @property
+    def insulator_capacitance_f_per_nm(self) -> float:
+        """Double-gate insulator capacitance per unit channel length.
+
+        Parallel-plate estimate ``2 eps_ox eps_0 W_eff / t_ox`` with the
+        effective electrostatic width taken as the ribbon width plus one
+        oxide thickness of fringing per side (a standard fringing-field
+        allowance for nanoribbon/nanowire channels).
+        """
+        w_eff = self.width_nm + self.oxide_thickness_nm
+        return 2.0 * self.eps_ox * EPS_0_F_PER_NM * w_eff / self.oxide_thickness_nm
+
+    def natural_length_theoretical_nm(self, eps_channel: float = 6.0) -> float:
+        """Textbook double-gate natural length (for comparison with the
+        calibrated ``natural_length_nm``)."""
+        return math.sqrt(eps_channel * GRAPHENE_THICKNESS_NM
+                         * self.oxide_thickness_nm / (2.0 * self.eps_ox))
+
+    def with_impurity(self, impurity: ChargeImpurity | None) -> "GNRFETGeometry":
+        """Copy of this geometry with a different impurity."""
+        return replace(self, impurity=impurity)
+
+    def with_index(self, n_index: int) -> "GNRFETGeometry":
+        """Copy of this geometry with a different ribbon index."""
+        return replace(self, n_index=n_index)

@@ -1,0 +1,91 @@
+"""I-V / Q-V sweep drivers.
+
+Runs a device engine over a bias grid and collects the ``I_D(V_G, V_D)``
+and ``Q(V_G, V_D)`` data that Section 3 of the paper stores in lookup
+tables "at discrete voltage steps of V_GS and V_DS ranging from 0 V to
+0.75 V".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.geometry import GNRFETGeometry
+from repro.device.sbfet import SBFETModel
+
+
+@dataclass
+class IVSweep:
+    """Gridded intrinsic device data.
+
+    Attributes
+    ----------
+    vg, vd:
+        Bias axes in volts (ascending).
+    current_a:
+        Drain current, shape ``(len(vg), len(vd))``.
+    charge_c:
+        Channel charge, same shape.
+    midgap_ev:
+        Converged channel midgap energy per bias point (diagnostic).
+    geometry:
+        The device specification the sweep belongs to.
+    """
+
+    vg: np.ndarray
+    vd: np.ndarray
+    current_a: np.ndarray
+    charge_c: np.ndarray
+    midgap_ev: np.ndarray
+    geometry: GNRFETGeometry
+
+    def current_curve(self, vd: float) -> np.ndarray:
+        """I_D(V_G) at the tabulated drain voltage nearest ``vd``."""
+        j = int(np.argmin(np.abs(self.vd - vd)))
+        return self.current_a[:, j]
+
+    def on_off_ratio(self, vd: float, vg_on: float | None = None) -> float:
+        """``I_on / I_off`` at drain bias ``vd``.
+
+        ``I_on`` is the current at ``vg_on`` (default: the top of the
+        gate range); ``I_off`` the minimum over the gate sweep (the
+        ambipolar leakage floor).
+        """
+        curve = np.abs(self.current_curve(vd))
+        i_on = curve[-1] if vg_on is None else curve[
+            int(np.argmin(np.abs(self.vg - vg_on)))]
+        i_off = curve.min()
+        if i_off <= 0.0:
+            return np.inf
+        return float(i_on / i_off)
+
+
+def sweep_iv(
+    geometry: GNRFETGeometry,
+    vg_grid: np.ndarray,
+    vd_grid: np.ndarray,
+    n_modes: int | None = None,
+) -> IVSweep:
+    """Run the fast SBFET engine over a (V_G, V_D) grid."""
+    vg_grid = np.asarray(vg_grid, dtype=float)
+    vd_grid = np.asarray(vd_grid, dtype=float)
+    if vg_grid.ndim != 1 or vd_grid.ndim != 1:
+        raise ValueError("bias grids must be one-dimensional")
+    if np.any(np.diff(vg_grid) <= 0) or np.any(np.diff(vd_grid) <= 0):
+        raise ValueError("bias grids must be strictly ascending")
+
+    model = SBFETModel(geometry, n_modes=n_modes)
+    shape = (vg_grid.size, vd_grid.size)
+    current = np.empty(shape)
+    charge = np.empty(shape)
+    midgap = np.empty(shape)
+    for i, vg in enumerate(vg_grid):
+        for j, vd in enumerate(vd_grid):
+            sol = model.solve_bias(float(vg), float(vd))
+            current[i, j] = sol.current_a
+            charge[i, j] = sol.charge_c
+            midgap[i, j] = sol.midgap_ev
+    return IVSweep(vg=vg_grid, vd=vd_grid, current_a=current,
+                   charge_c=charge, midgap_ev=midgap, geometry=geometry)

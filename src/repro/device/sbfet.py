@@ -1,0 +1,408 @@
+"""Fast semi-analytic ballistic Schottky-barrier GNRFET engine.
+
+This is the production device engine that populates the circuit lookup
+tables.  It implements the same physics the paper's NEGF simulation
+captures for an ideal ballistic SBFET, at a tiny fraction of the cost:
+
+* **Band structure** — subband edges, masses and two-band velocities come
+  from the exact edge-relaxed p_z tight-binding bands
+  (:mod:`repro.atomistic`), so the width (index) dependence of everything
+  is atomistic, not fitted.
+* **Electrostatics** — the channel midgap ``U_ch`` follows the
+  top-of-the-barrier model: a Laplace part set by gate/drain capacitive
+  coupling plus a charging term ``q (n - p) / C_ins``, solved
+  self-consistently (this is what limits the on-current through the
+  quantum capacitance).
+* **Contacts** — metal source/drain with midgap Fermi-level pinning
+  (Schottky barriers ``Phi_Bn = Phi_Bp = E_g/2``, as the paper specifies).
+  The contact-induced band bending decays exponentially into the channel
+  with the double-gate natural length.
+* **Transport** — coherent Landauer current with WKB transmission through
+  the classically forbidden (gap) regions, using the two-band imaginary
+  dispersion ``kappa(E) = sqrt((E_g/2)^2 - E^2) / (hbar v)``.  Thermionic
+  emission, Schottky tunneling, ambipolar conduction (minimum leakage at
+  ``V_G ~ V_D/2``) and direct source-drain tunneling all emerge from the
+  single energy integral.
+* **Charge impurities** — the gate-image-screened Coulomb potential of an
+  oxide point charge (:mod:`repro.poisson.pointcharge`) is added to the
+  band profile, modulating barrier height and thickness exactly as in the
+  paper's Fig. 5(a).
+
+The engine is cross-validated against the reference NEGF + Poisson device
+simulator in the test suite and in ``benchmarks/bench_ablation_engines.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    HBAR_SI,
+    LANDAUER_PREFACTOR_A_PER_EV,
+    Q_E,
+    fermi_dirac,
+    thermal_energy_ev,
+)
+from repro.atomistic.modespace import TransverseMode, transverse_modes
+from repro.device.geometry import GNRFETGeometry, GRAPHENE_THICKNESS_NM
+from repro.errors import ConvergenceError
+from repro.negf.energy_grid import adaptive_energy_grid
+from repro.poisson.pointcharge import screened_impurity_potential_ev
+
+
+@dataclass(frozen=True)
+class BiasPoint:
+    """One (V_G, V_D) bias point, in volts, source grounded."""
+
+    vg: float
+    vd: float
+
+
+@dataclass
+class SBFETSolution:
+    """Self-consistent solution of one bias point (one ribbon).
+
+    Attributes
+    ----------
+    bias:
+        The bias point solved.
+    midgap_ev:
+        Converged channel midgap energy ``U_ch`` relative to the source
+        Fermi level.
+    current_a:
+        Drain current in amperes (positive from drain to source for
+        normal n-branch operation).
+    charge_c:
+        Net mobile channel charge ``q (n - p)`` integrated along the
+        channel, in coulombs (positive when electrons dominate; the
+        sign convention only matters through derivatives).
+    electron_linear_density_per_nm, hole_linear_density_per_nm:
+        Carrier densities at the top of the barrier.
+    iterations:
+        Bisection iterations used by the electrostatic solve.
+    """
+
+    bias: BiasPoint
+    midgap_ev: float
+    current_a: float
+    charge_c: float
+    electron_linear_density_per_nm: float
+    hole_linear_density_per_nm: float
+    iterations: int
+
+
+class SBFETModel:
+    """Fast ballistic SBFET solver for one :class:`GNRFETGeometry`.
+
+    Parameters
+    ----------
+    geometry:
+        Device specification (includes any charge impurity).
+    n_modes:
+        Number of transverse subbands retained.  ``None`` (default)
+        retains every subband whose edge lies below ``mode_cutoff_ev``
+        (at least two), so wide ribbons automatically gain the extra
+        low-lying subbands responsible for their larger channel
+        capacitance (paper anchor A5).
+    n_x:
+        Transport-grid resolution for the WKB integrals.
+    n_k:
+        k-grid resolution for the charge integrals.
+    mode_cutoff_ev:
+        Subband-edge cutoff used when ``n_modes`` is ``None``.
+    """
+
+    def __init__(self, geometry: GNRFETGeometry, n_modes: int | None = None,
+                 n_x: int = 81, n_k: int = 161,
+                 mode_cutoff_ev: float = 1.35):
+        self.geometry = geometry
+        if n_modes is None:
+            candidates = transverse_modes(geometry.n_index, 6)
+            n_modes = max(2, sum(1 for m in candidates
+                                 if m.edge_ev < mode_cutoff_ev))
+        self.modes: tuple[TransverseMode, ...] = transverse_modes(
+            geometry.n_index, n_modes)
+        self.kt_ev = thermal_energy_ev(geometry.temperature_k)
+
+        length = geometry.channel_length_nm
+        self._x_nm = np.linspace(0.0, length, n_x)
+        self._dx_nm = self._x_nm[1] - self._x_nm[0]
+
+        # Per-mode hbar*v in eV nm (converts kappa to 1/nm).
+        self._hv_ev_nm = np.array(
+            [HBAR_SI * m.velocity_m_per_s / Q_E * 1e9 for m in self.modes])
+        self._edges_ev = np.array([m.edge_ev for m in self.modes])
+
+        # k-grids for the charge integral, one per mode, spanning energies
+        # up to ~1 eV above each subband edge.
+        self._k_grids = []
+        for m, hv in zip(self.modes, self._hv_ev_nm):
+            e_span = 1.0
+            k_max = np.sqrt((m.edge_ev + e_span) ** 2 - m.edge_ev ** 2) / hv
+            self._k_grids.append(np.linspace(0.0, k_max, n_k))
+
+        self._impurity_profile_ev = self._build_impurity_profile()
+        self._build_density_lut()
+
+    # ------------------------------------------------------------------ #
+    # Electrostatics
+    # ------------------------------------------------------------------ #
+    def _build_impurity_profile(self) -> np.ndarray:
+        """Electron-energy shift along the channel from the oxide impurity."""
+        imp = self.geometry.impurity
+        if imp is None or imp.charge_e == 0.0:
+            return np.zeros_like(self._x_nm)
+        d = self.geometry.gate_separation_nm
+        z_plane = d / 2.0
+        z_imp = z_plane + GRAPHENE_THICKNESS_NM / 2.0 + imp.height_nm
+        # Clamp inside the stack (a tall "height" would poke into the gate).
+        z_imp = min(z_imp, d - 1e-3)
+        lateral = np.abs(self._x_nm - imp.position_nm)
+        u = screened_impurity_potential_ev(
+            imp.charge_e, lateral, impurity_height_nm=z_imp,
+            gate_separation_nm=d, eps_r=self.geometry.eps_ox,
+            plane_height_nm=z_plane)
+        return self.geometry.impurity_screening * u
+
+    def laplace_midgap_ev(self, vg: float, vd: float) -> float:
+        """Channel midgap in the zero-charge (Laplace) limit."""
+        g = self.geometry
+        return -g.gate_coupling * vg - g.drain_coupling * vd
+
+    def band_profile_midgap_ev(self, u_ch_ev: float, vd: float) -> np.ndarray:
+        """Midgap energy along the channel for a given channel level.
+
+        Contact-induced band bending is exponential with the natural
+        length; the source interface midgap is pinned at the source Fermi
+        level (0) and the drain interface at ``-V_D`` (midgap pinning with
+        barriers E_g/2 for both carriers).
+        """
+        lam = self.geometry.natural_length_nm
+        x = self._x_nm
+        length = self.geometry.channel_length_nm
+        profile = (u_ch_ev
+                   + (0.0 - u_ch_ev) * np.exp(-x / lam)
+                   + (-vd - u_ch_ev) * np.exp(-(length - x) / lam))
+        return profile + self._impurity_profile_ev
+
+    def _build_density_lut(self) -> None:
+        """Tabulate equilibrium carrier densities vs midgap level.
+
+        With a single chemical potential ``mu``, the densities depend
+        only on ``u - mu`` (the Fermi factor sees ``E(k) + u - mu``), so
+        one equilibrium table ``n0(u)`` / ``p0(u)`` at ``mu = 0`` serves
+        every bias: the ballistic two-contact filling is the average of
+        two shifted lookups.  This turns the inner loop of the
+        electrostatic bisection into two ``np.interp`` calls.
+        """
+        u_grid = np.linspace(-3.0, 3.0, 2401)
+        n0 = np.zeros_like(u_grid)
+        p0 = np.zeros_like(u_grid)
+        for mode, hv, ks in zip(self.modes, self._hv_ev_nm, self._k_grids):
+            e_k = np.sqrt(mode.edge_ev ** 2 + (hv * ks) ** 2)  # (nk,)
+            e_cond = u_grid[:, None] + e_k[None, :]
+            e_val = u_grid[:, None] - e_k[None, :]
+            f_cond = fermi_dirac(e_cond, 0.0, self.kt_ev)
+            f_val = fermi_dirac(e_val, 0.0, self.kt_ev)
+            # n = (2/pi) int dk f(E(k)); spin x2, +-k folded in.
+            n0 += (2.0 / np.pi) * np.trapezoid(f_cond, ks, axis=1)
+            p0 += (2.0 / np.pi) * np.trapezoid(1.0 - f_val, ks, axis=1)
+        self._lut_u = u_grid
+        self._lut_n0 = n0
+        self._lut_p0 = p0
+
+    def _densities_at_level(self, u_ev: np.ndarray, mu_s_ev: float,
+                            mu_d_ev: float) -> tuple[np.ndarray, np.ndarray]:
+        """Electron/hole linear densities (1/nm) for midgap level(s) ``u``.
+
+        Ballistic filling: half the states populated from each contact
+        (+k from source, -k from drain), i.e. the average Fermi factor,
+        served from the equilibrium lookup table.
+        """
+        u = np.atleast_1d(np.asarray(u_ev, dtype=float))
+        n = 0.5 * (np.interp(u - mu_s_ev, self._lut_u, self._lut_n0)
+                   + np.interp(u - mu_d_ev, self._lut_u, self._lut_n0))
+        p = 0.5 * (np.interp(u - mu_s_ev, self._lut_u, self._lut_p0)
+                   + np.interp(u - mu_d_ev, self._lut_u, self._lut_p0))
+        return n, p
+
+    def solve_midgap_ev(self, vg: float, vd: float,
+                        tol_ev: float = 1e-6,
+                        max_iter: int = 80) -> tuple[float, int]:
+        """Self-consistent channel midgap by bisection.
+
+        The residual ``r(U) = U - U_L - q (n(U) - p(U)) / C_ins`` is
+        strictly increasing in ``U`` (raising the bands empties electrons
+        and adds holes), so the root is unique and bisection cannot fail
+        once bracketed.
+        """
+        u_laplace = self.laplace_midgap_ev(vg, vd)
+        c_ins = self.geometry.insulator_capacitance_f_per_nm
+        mu_s, mu_d = 0.0, -vd
+
+        def residual(u: float) -> float:
+            n, p = self._densities_at_level(np.array([u]), mu_s, mu_d)
+            charging = Q_E * (n[0] - p[0]) / c_ins  # volts == eV here
+            return u - u_laplace - charging
+
+        lo, hi = u_laplace - 1.5, u_laplace + 1.5
+        r_lo, r_hi = residual(lo), residual(hi)
+        expand = 0
+        while r_lo > 0.0 or r_hi < 0.0:
+            lo -= 1.0
+            hi += 1.0
+            r_lo, r_hi = residual(lo), residual(hi)
+            expand += 1
+            if expand > 5:
+                raise ConvergenceError(
+                    f"cannot bracket electrostatic solution at VG={vg}, VD={vd}")
+
+        for iteration in range(1, max_iter + 1):
+            mid = 0.5 * (lo + hi)
+            r_mid = residual(mid)
+            if r_mid > 0.0:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo < tol_ev:
+                return 0.5 * (lo + hi), iteration
+        raise ConvergenceError(
+            f"electrostatic bisection stalled at VG={vg}, VD={vd}",
+            iterations=max_iter, residual=hi - lo)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def transmission(self, energies_ev: np.ndarray,
+                     profile_midgap_ev: np.ndarray) -> np.ndarray:
+        """WKB transmission summed over modes, shape ``(n_energy,)``.
+
+        Each mode carries two independent WKB channels:
+
+        * the **electron channel** propagates where ``E > E_C(x)``, decays
+          with the two-band ``kappa`` inside the local gap, and decays at
+          the maximal midgap rate ``E_n / (hbar v)`` where the energy dips
+          below the local valence edge (a conduction state has no
+          propagating continuation there; treating that region as
+          transmitting would amount to unphysical interband transparency
+          through tall barrier bumps, which the paper's atomistic NEGF
+          does not show);
+        * the **hole channel** is the mirror image.
+
+        A mode transmits through whichever channel survives better
+        (interband mixing is neglected), and modes add as independent
+        Landauer channels.
+        """
+        e = np.asarray(energies_ev, dtype=float)[:, None]
+        u = np.asarray(profile_midgap_ev, dtype=float)[None, :]
+        # Interior midgap level and impurity-induced well depths for the
+        # quantum-reflection correction (WKB alone is transparent to
+        # attractive wells, which would overstate the benefit of
+        # favourable impurities; see _well_factor).
+        u_interior = float(np.median(u))
+        imp = self._impurity_profile_ev
+        well_e = max(0.0, -float(imp.min()))   # electron well (positive charge)
+        well_h = max(0.0, float(imp.max()))    # hole well (negative charge)
+
+        total = np.zeros(e.shape[0])
+        for edge, hv in zip(self._edges_ev, self._hv_ev_nm):
+            delta = e - u
+            kappa_gap = np.sqrt(np.clip(edge ** 2 - delta ** 2, 0.0, None)) / hv
+            kappa_max = edge / hv
+            above_cond = delta > edge
+            below_val = delta < -edge
+            kappa_e = np.where(above_cond, 0.0,
+                               np.where(below_val, kappa_max, kappa_gap))
+            kappa_h = np.where(below_val, 0.0,
+                               np.where(above_cond, kappa_max, kappa_gap))
+            exp_e = 2.0 * np.trapezoid(kappa_e, dx=self._dx_nm, axis=1)
+            exp_h = 2.0 * np.trapezoid(kappa_h, dx=self._dx_nm, axis=1)
+            t_e = np.exp(-np.clip(exp_e, 0.0, 200.0))
+            t_h = np.exp(-np.clip(exp_h, 0.0, 200.0))
+            if well_e > 0.0:
+                t_e = t_e * self._well_factor(
+                    e[:, 0] - u_interior, edge, hv, well_e)
+            if well_h > 0.0:
+                t_h = t_h * self._well_factor(
+                    -(e[:, 0] - u_interior), edge, hv, well_h)
+            total += np.maximum(t_e, t_h)
+        return total
+
+    @staticmethod
+    def _well_factor(delta_ev: np.ndarray, edge_ev: float, hv_ev_nm: float,
+                     well_depth_ev: float) -> np.ndarray:
+        """Quantum-reflection factor of an impurity-induced potential well.
+
+        WKB transmits attractive wells perfectly, but a nanometre-scale
+        well (comparable to the carrier wavelength) reflects through
+        wave-vector mismatch at its walls.  The well is treated as two
+        abrupt steps composed incoherently: per step
+        ``t = 4 k1 k2 / (k1 + k2)^2`` with the two-band wave vectors in
+        the channel interior (``k1``) and at the well bottom (``k2``);
+        total ``T = t / (2 - t)``.  Applied only to energies that
+        propagate in the channel interior (tunneling energies are already
+        handled by the decay exponent).
+        """
+        d1 = np.asarray(delta_ev, dtype=float)
+        k1 = np.sqrt(np.clip(d1 ** 2 - edge_ev ** 2, 0.0, None)) / hv_ev_nm
+        propagating = d1 > edge_ev
+        d2 = d1 + well_depth_ev
+        k2 = np.sqrt(np.clip(d2 ** 2 - edge_ev ** 2, 0.0, None)) / hv_ev_nm
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_step = np.where((k1 > 0) & (k2 > 0),
+                              4.0 * k1 * k2 / (k1 + k2) ** 2, 1.0)
+        t_well = t_step / (2.0 - t_step)
+        return np.where(propagating, t_well, 1.0)
+
+    def _current_energy_grid(self, u_ch_ev: float, vd: float) -> np.ndarray:
+        window = 12.0 * self.kt_ev
+        e_min = min(-vd, 0.0) - window
+        e_max = max(-vd, 0.0) + window
+        features = [0.0, -vd]
+        for edge in self._edges_ev:
+            features += [u_ch_ev + edge, u_ch_ev - edge]
+        features = [f for f in features if e_min <= f <= e_max]
+        return adaptive_energy_grid(e_min, e_max, features,
+                                    coarse_step_ev=4e-3, fine_step_ev=8e-4)
+
+    def current_a(self, u_ch_ev: float, vd: float) -> float:
+        """Landauer current at a converged channel level."""
+        if abs(vd) < 1e-12:
+            return 0.0
+        profile = self.band_profile_midgap_ev(u_ch_ev, vd)
+        energies = self._current_energy_grid(u_ch_ev, vd)
+        t = self.transmission(energies, profile)
+        f_s = fermi_dirac(energies, 0.0, self.kt_ev)
+        f_d = fermi_dirac(energies, -vd, self.kt_ev)
+        return LANDAUER_PREFACTOR_A_PER_EV * float(
+            np.trapezoid(t * (f_s - f_d), energies))
+
+    def channel_charge_c(self, u_ch_ev: float, vd: float) -> float:
+        """Net mobile charge ``q (n - p)`` integrated along the channel."""
+        profile = self.band_profile_midgap_ev(u_ch_ev, vd)
+        n_x, p_x = self._densities_at_level(profile, 0.0, -vd)
+        return Q_E * float(np.trapezoid(n_x - p_x, self._x_nm))
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def solve_bias(self, vg: float, vd: float) -> SBFETSolution:
+        """Solve one bias point self-consistently and return all outputs."""
+        u_ch, iterations = self.solve_midgap_ev(vg, vd)
+        n, p = self._densities_at_level(np.array([u_ch]), 0.0, -vd)
+        return SBFETSolution(
+            bias=BiasPoint(vg=vg, vd=vd),
+            midgap_ev=u_ch,
+            current_a=self.current_a(u_ch, vd),
+            charge_c=self.channel_charge_c(u_ch, vd),
+            electron_linear_density_per_nm=float(n[0]),
+            hole_linear_density_per_nm=float(p[0]),
+            iterations=iterations,
+        )
+
+    def current_at(self, vg: float, vd: float) -> float:
+        """Convenience: self-consistent drain current at one bias point."""
+        u_ch, _ = self.solve_midgap_ev(vg, vd)
+        return self.current_a(u_ch, vd)

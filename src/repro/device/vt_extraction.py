@@ -1,0 +1,65 @@
+"""Threshold-voltage extraction by linear extrapolation.
+
+The paper extracts V_T "using traditional V_T extraction methods for MOS
+devices from the I-V data": at low drain voltage, the tangent to the
+I_D(V_G) curve at the point of maximum transconductance is extrapolated to
+zero current; the V_G-axis intercept is the threshold voltage (less half
+the drain voltage, a correction that is negligible at V_D = 50 mV and is
+included here for completeness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def extract_vt_linear(
+    vg: np.ndarray,
+    current_a: np.ndarray,
+    vd: float = 0.0,
+    branch: str = "electron",
+) -> float:
+    """Linear-extrapolation threshold voltage.
+
+    Parameters
+    ----------
+    vg, current_a:
+        Gate sweep and drain current at fixed, low ``vd``.
+    branch:
+        ``"electron"`` extracts the n-type threshold from the high-V_G
+        (electron conduction) side; ``"hole"`` mirrors the sweep to
+        extract the p-branch threshold of the ambipolar device.
+
+    Returns
+    -------
+    The gate voltage where the maximum-transconductance tangent crosses
+    zero current, minus ``vd / 2``.
+    """
+    vg = np.asarray(vg, dtype=float)
+    current = np.asarray(current_a, dtype=float)
+    if vg.shape != current.shape or vg.size < 4:
+        raise ValueError("need matching vg/current arrays with >= 4 points")
+    if branch == "hole":
+        vg = -vg[::-1]
+        current = current[::-1]
+    elif branch != "electron":
+        raise ValueError(f"branch must be 'electron' or 'hole', got {branch!r}")
+
+    # Transconductance on the electron branch only: restrict to the region
+    # right of the ambipolar minimum so the hole branch cannot win.
+    i_min = int(np.argmin(np.abs(current)))
+    v = vg[i_min:]
+    i = np.abs(current[i_min:])
+    if v.size < 3:
+        raise AnalysisError("no electron branch right of the current minimum")
+
+    gm = np.gradient(i, v)
+    idx = int(np.argmax(gm))
+    slope = gm[idx]
+    if slope <= 0.0:
+        raise AnalysisError("non-positive peak transconductance; "
+                            "cannot extrapolate a threshold")
+    vt = v[idx] - i[idx] / slope - vd / 2.0
+    return float(vt)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch simulation problems without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver (SCF loop, Newton, transient step) failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual norm, if known.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class TableRangeError(ReproError):
+    """A lookup-table evaluation was requested outside the tabulated range."""
+
+
+class InvalidDeviceError(ReproError):
+    """A device specification is physically or structurally invalid."""
+
+
+class CircuitError(ReproError):
+    """A netlist is malformed (dangling nodes, missing ground, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A post-processing step could not extract the requested quantity
+    (e.g. no oscillation detected when measuring ring-oscillator frequency)."""

@@ -1,0 +1,83 @@
+"""Table 1: GNRFET operating points A/B/C vs scaled CMOS at 22/32/45 nm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.inverter import inverter_snm
+from repro.circuit.ring_oscillator import (
+    estimate_ring_oscillator,
+    simulate_ring_oscillator,
+)
+from repro.cmos.circuits import cmos_inverter_snm, estimate_cmos_ring_oscillator
+from repro.cmos.ptm import ptm_node
+from repro.exploration.operating_point import OperatingPoint
+from repro.exploration.technology import GNRFETTechnology
+
+
+@dataclass
+class Table1Row:
+    """One column of the paper's Table 1 (a technology at a bias)."""
+
+    label: str
+    frequency_ghz: float
+    edp_fj_ps: float
+    snm_v: float
+
+
+def gnrfet_row(tech: GNRFETTechnology, label: str, vt: float, vdd: float,
+               n_stages: int = 15, transient: bool = True) -> Table1Row:
+    """Characterize the GNRFET ring oscillator at one operating point."""
+    nt, pt = tech.inverter_tables(vt)
+    if transient:
+        metrics = simulate_ring_oscillator(nt, pt, vdd, n_stages, tech.params)
+    else:
+        metrics = estimate_ring_oscillator(nt, pt, vdd, n_stages, tech.params)
+    snm = inverter_snm(nt, pt, vdd, tech.params)
+    return Table1Row(label=label,
+                     frequency_ghz=metrics.frequency_hz / 1e9,
+                     edp_fj_ps=metrics.edp_j_s / 1e-27,
+                     snm_v=snm)
+
+
+def cmos_row(node_nm: int, vdd: float, n_stages: int = 15) -> Table1Row:
+    """Characterize one CMOS node at one supply."""
+    node = ptm_node(node_nm)
+    metrics = estimate_cmos_ring_oscillator(node, vdd, n_stages)
+    snm = cmos_inverter_snm(node, vdd)
+    return Table1Row(label=f"{node_nm}nm@{vdd}V",
+                     frequency_ghz=metrics.frequency_hz / 1e9,
+                     edp_fj_ps=metrics.edp_j_s / 1e-27,
+                     snm_v=snm)
+
+
+def table1_comparison(
+    tech: GNRFETTechnology,
+    operating_points: dict[str, OperatingPoint] | dict[str, tuple[float, float]],
+    cmos_nodes: tuple[int, ...] = (22, 32, 45),
+    cmos_vdds: tuple[float, ...] = (0.8, 0.6, 0.4),
+    transient: bool = True,
+) -> tuple[list[Table1Row], list[Table1Row], float, float]:
+    """Full Table 1: GNRFET rows, CMOS rows, and the EDP-gap range.
+
+    ``operating_points`` maps labels (``"A"``, ``"B"``, ``"C"``) to either
+    :class:`OperatingPoint` instances or plain ``(vt, vdd)`` tuples.
+
+    Returns ``(gnrfet_rows, cmos_rows, min_ratio, max_ratio)`` where the
+    ratios compare every CMOS EDP against the GNRFET point-B EDP (the
+    paper: "the optimum EDP for scaled CMOS is 40-168X higher than the
+    EDP for GNRFETs at operating point B").
+    """
+    gnr_rows = []
+    for label, point in operating_points.items():
+        if isinstance(point, OperatingPoint):
+            vt, vdd = point.vt, point.vdd
+        else:
+            vt, vdd = point
+        gnr_rows.append(gnrfet_row(tech, label, vt, vdd, transient=transient))
+
+    cmos_rows = [cmos_row(n, v) for n in cmos_nodes for v in cmos_vdds]
+
+    reference = next((r for r in gnr_rows if r.label == "B"), gnr_rows[0])
+    ratios = [r.edp_fj_ps / reference.edp_fj_ps for r in cmos_rows]
+    return gnr_rows, cmos_rows, min(ratios), max(ratios)

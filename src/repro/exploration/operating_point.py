@@ -1,0 +1,134 @@
+"""Optimum operating points on the exploration grid (Fig. 3b, A / B / C).
+
+The paper's procedure:
+
+* the global EDP optimum is "conventionally the preferred operating
+  point", but sits at a low frequency;
+* **point A** — for a desired frequency, "the optimum EDP curve is
+  tangential to the frequency curve": the minimum-EDP point on the
+  iso-frequency contour;
+* **point B** — add reliability: the minimum-EDP point that meets both
+  the frequency and an SNM floor (the intersection of the two contours);
+* **point C** — same EDP and SNM as B at higher V_T, demonstrating that
+  raising V_T does not buy noise robustness in GNRFET circuits (the
+  frequency is lower at C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.exploration.sweep import ExplorationGrid
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (V_T, V_DD) choice and its metrics."""
+
+    vt: float
+    vdd: float
+    frequency_hz: float
+    edp_j_s: float
+    snm_v: float
+
+
+def _grid_points(grid: ExplorationGrid):
+    for i, vt in enumerate(grid.vt):
+        for j, vdd in enumerate(grid.vdd):
+            yield i, j, float(vt), float(vdd)
+
+
+def _point(grid: ExplorationGrid, i: int, j: int) -> OperatingPoint:
+    return OperatingPoint(
+        vt=float(grid.vt[i]), vdd=float(grid.vdd[j]),
+        frequency_hz=float(grid.frequency_hz[i, j]),
+        edp_j_s=float(grid.edp_j_s[i, j]),
+        snm_v=float(grid.snm_v[i, j]))
+
+
+def min_edp_point(grid: ExplorationGrid) -> OperatingPoint:
+    """Global EDP optimum over the plane."""
+    edp = np.where(np.isnan(grid.edp_j_s), np.inf, grid.edp_j_s)
+    i, j = np.unravel_index(np.argmin(edp), edp.shape)
+    if not np.isfinite(edp[i, j]):
+        raise AnalysisError("no valid point in the exploration grid")
+    return _point(grid, int(i), int(j))
+
+
+def min_edp_at_frequency(
+    grid: ExplorationGrid,
+    min_frequency_hz: float,
+) -> OperatingPoint:
+    """Point A: minimum EDP subject to a frequency floor."""
+    best = None
+    for i, j, _, _ in _grid_points(grid):
+        f = grid.frequency_hz[i, j]
+        e = grid.edp_j_s[i, j]
+        if np.isnan(f) or np.isnan(e) or f < min_frequency_hz:
+            continue
+        if best is None or e < grid.edp_j_s[best]:
+            best = (i, j)
+    if best is None:
+        raise AnalysisError(
+            f"no grid point reaches {min_frequency_hz / 1e9:.2f} GHz")
+    return _point(grid, *best)
+
+
+def min_edp_at_frequency_and_snm(
+    grid: ExplorationGrid,
+    min_frequency_hz: float,
+    min_snm_v: float,
+) -> OperatingPoint:
+    """Point B: minimum EDP subject to frequency and SNM floors."""
+    best = None
+    for i, j, _, _ in _grid_points(grid):
+        f = grid.frequency_hz[i, j]
+        e = grid.edp_j_s[i, j]
+        s = grid.snm_v[i, j]
+        if np.isnan(f) or np.isnan(e) or np.isnan(s):
+            continue
+        if f < min_frequency_hz or s < min_snm_v:
+            continue
+        if best is None or e < grid.edp_j_s[best]:
+            best = (i, j)
+    if best is None:
+        raise AnalysisError(
+            f"no grid point reaches {min_frequency_hz / 1e9:.2f} GHz "
+            f"with SNM >= {min_snm_v} V")
+    return _point(grid, *best)
+
+
+def matched_edp_snm_higher_vt(
+    grid: ExplorationGrid,
+    reference: OperatingPoint,
+    edp_tolerance: float = 0.25,
+    snm_tolerance: float = 0.25,
+) -> OperatingPoint:
+    """Point C: (approximately) the same EDP and SNM as ``reference`` at a
+    strictly higher V_T; among candidates, the one with the highest V_T.
+
+    The paper uses C to show that the higher-V_T twin of B runs ~40%
+    slower: trading the work-function offset away from the
+    minimum-leakage alignment costs performance without buying noise
+    margin.
+    """
+    candidates = []
+    for i, j, vt, _ in _grid_points(grid):
+        if vt <= reference.vt:
+            continue
+        e = grid.edp_j_s[i, j]
+        s = grid.snm_v[i, j]
+        if np.isnan(e) or np.isnan(s):
+            continue
+        if (abs(e - reference.edp_j_s) <= edp_tolerance * reference.edp_j_s
+                and abs(s - reference.snm_v) <= snm_tolerance
+                * max(reference.snm_v, 1e-6)):
+            candidates.append((vt, i, j))
+    if not candidates:
+        raise AnalysisError("no higher-V_T point matches the reference "
+                            "EDP/SNM within tolerance")
+    _, i, j = max(candidates)
+    return _point(grid, i, j)

@@ -1,0 +1,79 @@
+"""Dense V_DD-V_T exploration sweep (the data behind Fig. 3b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.inverter import inverter_snm
+from repro.circuit.ring_oscillator import estimate_ring_oscillator
+from repro.errors import AnalysisError
+from repro.exploration.technology import GNRFETTechnology
+
+
+@dataclass
+class ExplorationGrid:
+    """Metrics of the 15-stage FO4 ring oscillator over the (V_T, V_DD) plane.
+
+    All arrays have shape ``(len(vt), len(vdd))``; entries where the
+    oscillator cannot run (no drive) are NaN.
+    """
+
+    vt: np.ndarray
+    vdd: np.ndarray
+    frequency_hz: np.ndarray
+    edp_j_s: np.ndarray
+    snm_v: np.ndarray
+    total_power_w: np.ndarray
+    static_power_w: np.ndarray
+
+    def log_edp(self, floor: float = 1e-40) -> np.ndarray:
+        """Natural log of the EDP in aJ-ps (the paper's Fig. 3b contour
+        labels are ln(EDP) with EDP in aJ-ps)."""
+        edp_aj_ps = self.edp_j_s / (1e-18 * 1e-12)
+        return np.log(np.clip(edp_aj_ps, floor, None))
+
+
+def sweep_vdd_vt(
+    tech: GNRFETTechnology,
+    vt_grid: np.ndarray,
+    vdd_grid: np.ndarray,
+    n_stages: int = 15,
+    with_snm: bool = True,
+    snm_points: int = 41,
+) -> ExplorationGrid:
+    """Quasi-static sweep of RO metrics and inverter SNM.
+
+    Invalid corners (V_T >= V_DD with no headroom, vanishing drive) are
+    recorded as NaN rather than raised, so contour extraction can operate
+    on the full rectangle.
+    """
+    vt_grid = np.asarray(vt_grid, dtype=float)
+    vdd_grid = np.asarray(vdd_grid, dtype=float)
+    shape = (vt_grid.size, vdd_grid.size)
+    freq = np.full(shape, np.nan)
+    edp = np.full(shape, np.nan)
+    snm = np.full(shape, np.nan)
+    p_tot = np.full(shape, np.nan)
+    p_stat = np.full(shape, np.nan)
+
+    for i, vt in enumerate(vt_grid):
+        nt, pt = tech.inverter_tables(float(vt))
+        for j, vdd in enumerate(vdd_grid):
+            vdd = float(vdd)
+            try:
+                m = estimate_ring_oscillator(nt, pt, vdd, n_stages,
+                                             tech.params)
+            except AnalysisError:
+                continue
+            freq[i, j] = m.frequency_hz
+            edp[i, j] = m.edp_j_s
+            p_tot[i, j] = m.total_power_w
+            p_stat[i, j] = m.static_power_w
+            if with_snm:
+                snm[i, j] = inverter_snm(nt, pt, vdd, tech.params)
+
+    return ExplorationGrid(vt=vt_grid, vdd=vdd_grid, frequency_hz=freq,
+                           edp_j_s=edp, snm_v=snm, total_power_w=p_tot,
+                           static_power_w=p_stat)

@@ -1,0 +1,76 @@
+"""Carrier density from NEGF spectral functions.
+
+The contact-resolved spectral functions
+
+``A_S(E) = G Gamma_S G^dagger``,  ``A_D(E) = G Gamma_D G^dagger``
+
+partition the local density of states by the reservoir that fills it, so
+the non-equilibrium electron density on site/block ``i`` is
+
+``n_i = (1/2 pi) \\int dE [A_S,ii f_S + A_D,ii f_D] * 2_spin``.
+
+Hole densities follow by integrating the empty states ``(1 - f)`` below
+midgap; the device layer decides which window is "electron-like" and which
+"hole-like".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import KT_ROOM_EV, fermi_dirac
+
+
+def spectral_diagonal(column_block: np.ndarray, gamma: np.ndarray) -> np.ndarray:
+    """Site-diagonal of ``G_col Gamma G_col^dagger`` for one block.
+
+    ``column_block`` is ``G_{i,c}`` (device block i, contact block c) and
+    ``gamma`` the contact broadening; the result is the diagonal of the
+    contact-resolved spectral function on block ``i``.
+    """
+    m = column_block @ gamma @ column_block.conj().T
+    return np.real(np.diag(m)).copy()
+
+
+def carrier_density_from_spectral(
+    energies_ev: np.ndarray,
+    spectral_source: np.ndarray,
+    spectral_drain: np.ndarray,
+    mu_source_ev: float,
+    mu_drain_ev: float,
+    kt_ev: float = KT_ROOM_EV,
+    occupation: str = "electron",
+) -> np.ndarray:
+    """Integrate spectral densities into a carrier density per site.
+
+    Parameters
+    ----------
+    spectral_source, spectral_drain:
+        Arrays of shape ``(n_energy, n_sites)`` holding the diagonals of
+        ``A_S`` and ``A_D``.
+    occupation:
+        ``"electron"`` weighs states by ``f``; ``"hole"`` by ``1 - f``.
+
+    Returns
+    -------
+    Density per site (dimensionless occupation numbers, spin included),
+    shape ``(n_sites,)``.
+    """
+    energies_ev = np.asarray(energies_ev, dtype=float)
+    a_s = np.asarray(spectral_source, dtype=float)
+    a_d = np.asarray(spectral_drain, dtype=float)
+    if a_s.shape != a_d.shape or a_s.shape[0] != energies_ev.size:
+        raise ValueError("spectral arrays must be (n_energy, n_sites)")
+
+    f_s = fermi_dirac(energies_ev, mu_source_ev, kt_ev)
+    f_d = fermi_dirac(energies_ev, mu_drain_ev, kt_ev)
+    if occupation == "electron":
+        w_s, w_d = f_s, f_d
+    elif occupation == "hole":
+        w_s, w_d = 1.0 - f_s, 1.0 - f_d
+    else:
+        raise ValueError(f"occupation must be 'electron' or 'hole', got {occupation!r}")
+
+    integrand = a_s * w_s[:, None] + a_d * w_d[:, None]
+    # Factor 2 for spin, 1/2pi from the spectral-function normalization.
+    return (2.0 / (2.0 * np.pi)) * np.trapezoid(integrand, energies_ev, axis=0)

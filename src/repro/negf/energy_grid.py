@@ -1,0 +1,69 @@
+"""Energy grids for NEGF integrals.
+
+NEGF observables are energy integrals whose integrands vary rapidly near
+band edges (van Hove singularities of 1-D subbands) and near the contact
+chemical potentials (Fermi-function edges).  A uniform grid fine enough for
+those features everywhere is wastefully large, so the device layer uses a
+piecewise grid that is fine within a window around each *feature energy*
+and coarse elsewhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.constants import KT_ROOM_EV
+
+
+def uniform_energy_grid(e_min_ev: float, e_max_ev: float, step_ev: float) -> np.ndarray:
+    """A uniform grid from ``e_min`` to ``e_max`` with spacing <= ``step``."""
+    if e_max_ev <= e_min_ev:
+        raise ValueError(f"empty energy window [{e_min_ev}, {e_max_ev}]")
+    if step_ev <= 0.0:
+        raise ValueError(f"step must be positive, got {step_ev}")
+    n = max(2, int(np.ceil((e_max_ev - e_min_ev) / step_ev)) + 1)
+    return np.linspace(e_min_ev, e_max_ev, n)
+
+
+def adaptive_energy_grid(
+    e_min_ev: float,
+    e_max_ev: float,
+    feature_energies_ev: Iterable[float] = (),
+    coarse_step_ev: float = 0.01,
+    fine_step_ev: float = 0.001,
+    feature_halfwidth_ev: float = 4.0 * KT_ROOM_EV,
+) -> np.ndarray:
+    """Grid refined around band edges and chemical potentials.
+
+    Parameters
+    ----------
+    feature_energies_ev:
+        Energies around which the integrand varies quickly (subband edges,
+        contact chemical potentials, barrier tops).  A window of
+        ``+- feature_halfwidth_ev`` around each receives ``fine_step_ev``
+        spacing; the rest of the window uses ``coarse_step_ev``.
+
+    Returns
+    -------
+    Sorted, de-duplicated array of energies including both endpoints.
+    """
+    if e_max_ev <= e_min_ev:
+        raise ValueError(f"empty energy window [{e_min_ev}, {e_max_ev}]")
+    if fine_step_ev <= 0.0 or coarse_step_ev <= 0.0:
+        raise ValueError("grid steps must be positive")
+    if fine_step_ev > coarse_step_ev:
+        raise ValueError("fine step must not exceed coarse step")
+
+    pieces = [uniform_energy_grid(e_min_ev, e_max_ev, coarse_step_ev)]
+    for feature in feature_energies_ev:
+        lo = max(e_min_ev, feature - feature_halfwidth_ev)
+        hi = min(e_max_ev, feature + feature_halfwidth_ev)
+        if hi > lo:
+            pieces.append(uniform_energy_grid(lo, hi, fine_step_ev))
+
+    grid = np.unique(np.concatenate(pieces))
+    # Collapse near-duplicates that would produce zero-width trapezoids.
+    keep = np.concatenate(([True], np.diff(grid) > fine_step_ev * 1e-6))
+    return grid[keep]

@@ -1,0 +1,87 @@
+"""Mixing schemes for the self-consistent NEGF-Poisson iteration.
+
+A naive fixed-point iteration ``U_{k+1} = P(U_k)`` between the transport and
+Poisson solvers diverges for well-coupled devices; damped (linear) mixing is
+robust but slow, and Anderson acceleration recovers most of the speed while
+keeping the robustness.  Both are provided; the SCF loop defaults to
+Anderson with a linear warm-up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearMixer:
+    """Damped fixed-point mixing ``x <- x + beta (f(x) - x)``."""
+
+    def __init__(self, beta: float = 0.1):
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"mixing factor must be in (0, 1], got {beta}")
+        self.beta = beta
+
+    def reset(self) -> None:
+        """No internal history to clear; present for interface symmetry."""
+
+    def update(self, x_in: np.ndarray, x_out: np.ndarray) -> np.ndarray:
+        """Return the next iterate from the current input/output pair."""
+        x_in = np.asarray(x_in, dtype=float)
+        x_out = np.asarray(x_out, dtype=float)
+        return x_in + self.beta * (x_out - x_in)
+
+
+class AndersonMixer:
+    """Anderson (Pulay/DIIS-type) acceleration with bounded history.
+
+    Solves the least-squares problem over the last ``history`` residuals to
+    extrapolate the next iterate; falls back to damped linear mixing while
+    the history is still shallow or when the LS system is ill-conditioned.
+    """
+
+    def __init__(self, beta: float = 0.3, history: int = 5,
+                 regularization: float = 1e-10):
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"mixing factor must be in (0, 1], got {beta}")
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.beta = beta
+        self.history = history
+        self.regularization = regularization
+        self._xs: list[np.ndarray] = []
+        self._fs: list[np.ndarray] = []
+
+    def reset(self) -> None:
+        """Drop accumulated iterates (e.g. when the bias point changes)."""
+        self._xs.clear()
+        self._fs.clear()
+
+    def update(self, x_in: np.ndarray, x_out: np.ndarray) -> np.ndarray:
+        x_in = np.asarray(x_in, dtype=float).ravel()
+        x_out = np.asarray(x_out, dtype=float).ravel()
+        residual = x_out - x_in
+
+        self._xs.append(x_in.copy())
+        self._fs.append(residual.copy())
+        if len(self._xs) > self.history:
+            self._xs.pop(0)
+            self._fs.pop(0)
+
+        m = len(self._xs)
+        if m == 1:
+            return x_in + self.beta * residual
+
+        # Differences of residuals and iterates.
+        df = np.column_stack([self._fs[i + 1] - self._fs[i] for i in range(m - 1)])
+        dx = np.column_stack([self._xs[i + 1] - self._xs[i] for i in range(m - 1)])
+
+        # Solve min || f_k - df theta ||^2 with Tikhonov regularization.
+        a = df.T @ df + self.regularization * np.eye(m - 1)
+        b = df.T @ residual
+        try:
+            theta = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError:
+            return x_in + self.beta * residual
+
+        x_bar = x_in - dx @ theta
+        f_bar = residual - df @ theta
+        return x_bar + self.beta * f_bar

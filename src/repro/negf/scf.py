@@ -1,0 +1,100 @@
+"""Generic self-consistent field (SCF) loop.
+
+The paper's device simulation solves the NEGF transport equation
+"self-consistently with Poisson's equation".  This module provides the
+outer loop as a reusable component: given
+
+* ``solve_charge(potential) -> charge`` — the transport step, and
+* ``solve_potential(charge) -> potential`` — the electrostatics step,
+
+it iterates with a pluggable mixer until the potential update falls below
+tolerance.  The device layer wires in the actual NEGF and Poisson solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.negf.mixing import AndersonMixer, LinearMixer
+
+
+@dataclass
+class SCFOptions:
+    """Tuning knobs of the self-consistent loop."""
+
+    tolerance_ev: float = 1e-4
+    max_iterations: int = 150
+    mixer: LinearMixer | AndersonMixer | None = None
+    raise_on_failure: bool = True
+
+    def make_mixer(self) -> LinearMixer | AndersonMixer:
+        """Return the configured mixer, defaulting to Anderson."""
+        if self.mixer is not None:
+            self.mixer.reset()
+            return self.mixer
+        return AndersonMixer(beta=0.3, history=5)
+
+
+@dataclass
+class SCFResult:
+    """Converged (or best-effort) state of the SCF loop."""
+
+    potential: np.ndarray
+    charge: np.ndarray
+    converged: bool
+    iterations: int
+    residual_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_history[-1] if self.residual_history else np.inf
+
+
+def self_consistent_loop(
+    solve_charge: Callable[[np.ndarray], np.ndarray],
+    solve_potential: Callable[[np.ndarray], np.ndarray],
+    initial_potential: np.ndarray,
+    options: SCFOptions | None = None,
+) -> SCFResult:
+    """Iterate transport and electrostatics to self-consistency.
+
+    Convergence is measured on the max-norm of the potential update
+    (``max |U_out - U_in|`` in eV), the criterion used by atomistic device
+    simulators because the terminal current is exponentially sensitive to
+    barrier-region potential errors.
+    """
+    options = options or SCFOptions()
+    mixer = options.make_mixer()
+
+    potential = np.asarray(initial_potential, dtype=float).copy()
+    shape = potential.shape
+    charge = solve_charge(potential)
+    residuals: list[float] = []
+
+    for iteration in range(1, options.max_iterations + 1):
+        new_potential = np.asarray(solve_potential(charge), dtype=float)
+        if new_potential.shape != shape:
+            raise ValueError(
+                f"potential solver changed shape {shape} -> {new_potential.shape}")
+        residual = float(np.max(np.abs(new_potential - potential)))
+        residuals.append(residual)
+        if residual < options.tolerance_ev:
+            return SCFResult(potential=new_potential, charge=charge,
+                             converged=True, iterations=iteration,
+                             residual_history=residuals)
+        potential = mixer.update(potential.ravel(),
+                                 new_potential.ravel()).reshape(shape)
+        charge = solve_charge(potential)
+
+    if options.raise_on_failure:
+        raise ConvergenceError(
+            "SCF loop failed to converge: residual "
+            f"{residuals[-1]:.3e} eV after {options.max_iterations} iterations",
+            iterations=options.max_iterations, residual=residuals[-1])
+    return SCFResult(potential=potential, charge=charge, converged=False,
+                     iterations=options.max_iterations,
+                     residual_history=residuals)

@@ -1,0 +1,137 @@
+"""Contact self-energies for open-boundary NEGF.
+
+The self-energy matrices "describe how the channel couples to the source
+contact, the drain contact, and the dissipative processes" (paper, Sec. 2).
+Transport here is ballistic, so only contact self-energies are needed:
+
+* :func:`lead_self_energy_1d` — analytic surface Green's function of a
+  semi-infinite nearest-neighbour chain (the leads of the mode-space
+  device model);
+* :func:`sancho_rubio_surface_gf` — the Lopez-Sancho/Rubio decimation
+  iteration for arbitrary periodic leads (the full p_z-basis GNR leads);
+* :func:`wide_band_self_energy` — energy-independent metal contact in the
+  wide-band limit, used for Schottky metal source/drain electrodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+def lead_self_energy_1d(
+    energy_ev: complex,
+    onsite_ev: float,
+    hopping_ev: float,
+    eta_ev: float = 1e-6,
+) -> complex:
+    """Retarded self-energy of a semi-infinite 1-D tight-binding lead.
+
+    The lead has dispersion ``E(k) = onsite + 2 t cos(k a)`` with hopping
+    matrix element ``t = -hopping_ev`` on the off-diagonal (the sign of the
+    hopping does not affect the self-energy of a 1-D chain).  The surface
+    Green's function is
+
+    ``g(E) = (z - sqrt(z^2 - 4 t^2)) / (2 t^2)``, ``z = E + i eta - onsite``
+
+    with the branch chosen so that ``Im g <= 0`` (retarded).  The
+    self-energy on the channel site attached to the lead is
+    ``sigma = t^2 g``.
+    """
+    t = float(hopping_ev)
+    if t == 0.0:
+        return 0.0 + 0.0j
+    z = complex(energy_ev) + 1j * eta_ev - onsite_ev
+    root = np.sqrt(z * z - 4.0 * t * t + 0j)
+    g_plus = (z + root) / (2.0 * t * t)
+    g_minus = (z - root) / (2.0 * t * t)
+    # Inside the band exactly one branch has Im(g) < 0 (retarded); outside
+    # the band both are almost real and the physical branch is the bounded
+    # one (|g| <= 1/|t|).  Selecting the candidate with the more negative
+    # imaginary part, breaking near-ties by magnitude, covers both cases.
+    if abs(g_plus.imag - g_minus.imag) > 1e-14:
+        g = g_minus if g_minus.imag < g_plus.imag else g_plus
+    else:
+        g = g_minus if abs(g_minus) <= abs(g_plus) else g_plus
+    return t * t * g
+
+
+def sancho_rubio_surface_gf(
+    energy_ev: float,
+    h00: np.ndarray,
+    h01: np.ndarray,
+    eta_ev: float = 1e-6,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Surface Green's function of a semi-infinite periodic lead.
+
+    Implements the decimation algorithm of M. P. Lopez Sancho, J. M. Lopez
+    Sancho and J. Rubio (J. Phys. F 15, 851, 1985), which doubles the
+    effective lead length per iteration and therefore converges in
+    O(log) steps.
+
+    Parameters
+    ----------
+    h00, h01:
+        Principal-layer Hamiltonian and coupling from one layer to the
+        next (``h01`` rows index the layer closer to the device).
+    eta_ev:
+        Positive imaginary part regularizing the retarded GF.  Exactly at
+        a band center the decimation converges slowly in ``eta``; use
+        ``eta_ev >= 1e-6`` (the default) or offset the energy, as the
+        device layer's energy grids naturally do.
+
+    Returns
+    -------
+    ``g_s`` such that the lead self-energy on the device surface is
+    ``h01 @ g_s @ h01.conj().T`` (for a lead extending away through h01).
+    """
+    n = h00.shape[0]
+    z = (energy_ev + 1j * eta_ev) * np.eye(n)
+    eps_s = h00.astype(complex).copy()
+    eps = h00.astype(complex).copy()
+    alpha = h01.astype(complex).copy()
+    beta = h01.conj().T.copy()
+
+    for _ in range(max_iter):
+        g_bulk = np.linalg.solve(z - eps, np.eye(n, dtype=complex))
+        agb = alpha @ g_bulk @ beta
+        bga = beta @ g_bulk @ alpha
+        eps_s = eps_s + agb
+        eps = eps + agb + bga
+        alpha = alpha @ g_bulk @ alpha
+        beta = beta @ g_bulk @ beta
+        if np.max(np.abs(alpha)) < tol and np.max(np.abs(beta)) < tol:
+            return np.linalg.solve(z - eps_s, np.eye(n, dtype=complex))
+    raise ConvergenceError(
+        f"Sancho-Rubio iteration did not converge at E = {energy_ev} eV",
+        iterations=max_iter)
+
+
+def self_energy_from_surface_gf(g_surface: np.ndarray, coupling: np.ndarray) -> np.ndarray:
+    """Self-energy ``tau g_s tau^dagger`` projected on the device surface.
+
+    ``coupling`` is the hopping block from the device surface layer to the
+    first lead layer.
+    """
+    return coupling @ g_surface @ coupling.conj().T
+
+
+def wide_band_self_energy(gamma_ev: float, n: int = 1) -> np.ndarray:
+    """Energy-independent wide-band-limit contact self-energy ``-i Gamma/2``.
+
+    A standard idealization of a metal contact whose density of states is
+    flat over the energy window of interest; used for the Schottky-barrier
+    metal source/drain of the GNRFET.
+    """
+    if gamma_ev < 0.0:
+        raise ValueError(f"broadening must be non-negative, got {gamma_ev}")
+    return -0.5j * gamma_ev * np.eye(n, dtype=complex)
+
+
+def broadening_from_self_energy(sigma: np.ndarray) -> np.ndarray:
+    """Broadening matrix ``Gamma = i (Sigma - Sigma^dagger)``."""
+    sigma = np.atleast_2d(np.asarray(sigma, dtype=complex))
+    return 1j * (sigma - sigma.conj().T)

@@ -1,0 +1,81 @@
+"""Transmission and Landauer current.
+
+Once the retarded Green's function and contact broadenings are known, the
+ballistic (coherent) current follows from the Landauer expression
+
+``I = (2e/h) \\int T(E) [f_S(E) - f_D(E)] dE``
+
+with spin degeneracy folded into the prefactor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    G_QUANTUM,
+    KT_ROOM_EV,
+    LANDAUER_PREFACTOR_A_PER_EV,
+    fermi_dirac,
+)
+
+
+def transmission_dense(
+    greens_function: np.ndarray,
+    gamma_left: np.ndarray,
+    gamma_right: np.ndarray,
+) -> float:
+    """Caroli transmission ``Tr[Gamma_L G Gamma_R G^dagger]``.
+
+    ``greens_function`` is the full retarded GF; the broadening matrices
+    must be full-size (zero-padded outside their contact block).
+    """
+    g = np.asarray(greens_function, dtype=complex)
+    t = gamma_left @ g @ gamma_right @ g.conj().T
+    return float(np.real(np.trace(t)))
+
+
+def landauer_current(
+    energies_ev: np.ndarray,
+    transmission: np.ndarray,
+    mu_source_ev: float,
+    mu_drain_ev: float,
+    kt_ev: float = KT_ROOM_EV,
+) -> float:
+    """Spin-degenerate Landauer current in amperes.
+
+    Parameters
+    ----------
+    energies_ev, transmission:
+        Transmission sampled on an energy grid (need not be uniform; the
+        integral uses the trapezoidal rule).
+    mu_source_ev, mu_drain_ev:
+        Contact chemical potentials.  Positive current flows from source
+        to drain when ``mu_source > mu_drain``.
+    """
+    energies_ev = np.asarray(energies_ev, dtype=float)
+    transmission = np.asarray(transmission, dtype=float)
+    if energies_ev.shape != transmission.shape:
+        raise ValueError("energy grid and transmission must have equal shape")
+    f_s = fermi_dirac(energies_ev, mu_source_ev, kt_ev)
+    f_d = fermi_dirac(energies_ev, mu_drain_ev, kt_ev)
+    integrand = transmission * (f_s - f_d)
+    return LANDAUER_PREFACTOR_A_PER_EV * float(np.trapezoid(integrand, energies_ev))
+
+
+def landauer_conductance(
+    energies_ev: np.ndarray,
+    transmission: np.ndarray,
+    mu_ev: float,
+    kt_ev: float = KT_ROOM_EV,
+) -> float:
+    """Linear-response conductance in siemens.
+
+    ``G = (2e^2/h) \\int T(E) (-df/dE) dE``.
+    """
+    energies_ev = np.asarray(energies_ev, dtype=float)
+    transmission = np.asarray(transmission, dtype=float)
+    f = fermi_dirac(energies_ev, mu_ev, kt_ev)
+    # -df/dE = f(1-f)/kT, analytic and free of differencing noise.
+    weight = f * (1.0 - f) / kt_ev
+    return G_QUANTUM * float(np.trapezoid(transmission * weight, energies_ev))

@@ -1,0 +1,47 @@
+"""Electrostatics: finite-difference and finite-element Poisson solvers.
+
+The paper solves "the 3D Poisson's equation ... numerically ... using the
+finite element method (FEM)" because "FEM is efficient to treat a device
+with multiple gates".  This package provides:
+
+* structured-grid finite-difference solvers in 1-D, 2-D and 3-D with
+  spatially varying permittivity and mixed Dirichlet/Neumann boundaries
+  (:mod:`repro.poisson.fd`),
+* a genuine 2-D P1 finite-element solver on triangular meshes with
+  per-element permittivity (:mod:`repro.poisson.fem`) plus a structured
+  triangulator for device cross-sections (:mod:`repro.poisson.mesh`),
+* screened point-charge (impurity) potentials with gate image charges
+  (:mod:`repro.poisson.pointcharge`).
+
+The production GNRFET device path uses the 2-D FD solver on the
+(transport x gate-stack) cross-section; the FEM and 3-D solvers validate
+that reduction and serve the impurity-screening calculation (see DESIGN.md
+section 5 for the substitution rationale).
+"""
+
+from repro.poisson.grid import Grid1D, Grid2D, Grid3D
+from repro.poisson.fd import (
+    solve_poisson_1d,
+    solve_poisson_2d,
+    solve_poisson_3d,
+)
+from repro.poisson.mesh import TriangleMesh, rectangle_mesh
+from repro.poisson.fem import solve_poisson_fem_2d
+from repro.poisson.pointcharge import (
+    coulomb_potential_ev,
+    screened_impurity_potential_ev,
+)
+
+__all__ = [
+    "Grid1D",
+    "Grid2D",
+    "Grid3D",
+    "solve_poisson_1d",
+    "solve_poisson_2d",
+    "solve_poisson_3d",
+    "TriangleMesh",
+    "rectangle_mesh",
+    "solve_poisson_fem_2d",
+    "coulomb_potential_ev",
+    "screened_impurity_potential_ev",
+]

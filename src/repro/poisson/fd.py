@@ -1,0 +1,169 @@
+"""Finite-difference Poisson solvers on structured grids.
+
+Solves the variable-coefficient Poisson equation
+
+``div( eps_r grad(phi) ) = -rho / eps_0``
+
+for the electrostatic potential ``phi`` (volts) with
+
+* ``eps_r`` — relative permittivity per node (harmonically averaged onto
+  faces so dielectric interfaces are handled conservatively),
+* ``rho`` — charge density in C/nm^d for a d-dimensional grid,
+* ``eps_0`` in F/nm, making the units close without conversion factors,
+* Dirichlet nodes (gates, ohmic contacts) fixed via a boolean mask,
+* homogeneous Neumann (zero normal flux) on every other boundary node,
+  which arises naturally from dropping the missing-face flux.
+
+A single dimension-agnostic assembler serves the 1-D/2-D/3-D wrappers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.constants import EPS_0_F_PER_NM
+from repro.poisson.grid import Grid1D, Grid2D, Grid3D
+
+
+def _assemble_and_solve(
+    shape: tuple[int, ...],
+    spacings: tuple[float, ...],
+    eps_r: np.ndarray,
+    rho: np.ndarray,
+    dirichlet_mask: np.ndarray,
+    dirichlet_values: np.ndarray,
+) -> np.ndarray:
+    """Assemble the FD operator and solve; shared by all dimensions."""
+    ndim = len(shape)
+    n_total = int(np.prod(shape))
+
+    eps_r = np.asarray(eps_r, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    dirichlet_mask = np.asarray(dirichlet_mask, dtype=bool)
+    dirichlet_values = np.asarray(dirichlet_values, dtype=float)
+    for name, arr in (("eps_r", eps_r), ("rho", rho),
+                      ("dirichlet_mask", dirichlet_mask),
+                      ("dirichlet_values", dirichlet_values)):
+        if arr.shape != shape:
+            raise ValueError(f"{name} has shape {arr.shape}, expected {shape}")
+    if np.any(eps_r <= 0.0):
+        raise ValueError("relative permittivity must be positive everywhere")
+    if not np.any(dirichlet_mask):
+        raise ValueError(
+            "at least one Dirichlet node is required (otherwise the "
+            "Neumann problem is singular)")
+
+    # Node volume for the source term (cell-centered control volumes of
+    # size prod(spacings); boundary half-cells are absorbed into the same
+    # expression, which is second-order accurate in the interior and first
+    # order at Neumann boundaries - adequate for the smooth gate fields
+    # simulated here).
+    cell_volume = float(np.prod(spacings))
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    diag = np.zeros(n_total)
+    # The assembled operator is the *negative* divergence (SPD), so
+    # A phi = +rho V / eps_0.
+    rhs = (rho.ravel() * cell_volume) / EPS_0_F_PER_NM
+
+    strides = np.array([int(np.prod(shape[d + 1:])) for d in range(ndim)])
+    flat_index = np.arange(n_total).reshape(shape)
+
+    for axis in range(ndim):
+        h = spacings[axis]
+        # Cross-sectional area of the face perpendicular to `axis`.
+        area = cell_volume / h
+        coeff = area / h
+
+        sl_lo = [slice(None)] * ndim
+        sl_hi = [slice(None)] * ndim
+        sl_lo[axis] = slice(0, shape[axis] - 1)
+        sl_hi[axis] = slice(1, shape[axis])
+
+        eps_lo = eps_r[tuple(sl_lo)].ravel()
+        eps_hi = eps_r[tuple(sl_hi)].ravel()
+        eps_face = 2.0 * eps_lo * eps_hi / (eps_lo + eps_hi)
+
+        idx_lo = flat_index[tuple(sl_lo)].ravel()
+        idx_hi = flat_index[tuple(sl_hi)].ravel()
+
+        w = coeff * eps_face
+        # Flux contribution: A[lo, hi] -= w; A[lo, lo] += w; symmetric.
+        rows.append(idx_lo)
+        cols.append(idx_hi)
+        vals.append(-w)
+        rows.append(idx_hi)
+        cols.append(idx_lo)
+        vals.append(-w)
+        np.add.at(diag, idx_lo, w)
+        np.add.at(diag, idx_hi, w)
+
+    rows.append(np.arange(n_total))
+    cols.append(np.arange(n_total))
+    vals.append(diag)
+
+    a = sp.csr_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n_total, n_total))
+
+    # Impose Dirichlet rows: phi_i = value_i, and move known values to the
+    # right-hand side of the remaining equations.
+    mask = dirichlet_mask.ravel()
+    values = dirichlet_values.ravel()
+    free = ~mask
+
+    b = rhs - a @ (values * mask)
+    a_ff = a[free][:, free].tocsc()
+    b_f = b[free]
+
+    phi = np.empty(n_total)
+    phi[mask] = values[mask]
+    if np.any(free):
+        phi[free] = spla.spsolve(a_ff, b_f)
+    return phi.reshape(shape)
+
+
+def solve_poisson_1d(
+    grid: Grid1D,
+    eps_r: np.ndarray,
+    rho_c_per_nm: np.ndarray,
+    dirichlet_mask: np.ndarray,
+    dirichlet_values: np.ndarray,
+) -> np.ndarray:
+    """1-D Poisson solve; ``rho`` in C/nm (line charge density)."""
+    return _assemble_and_solve(grid.shape, grid.spacings, eps_r,
+                               rho_c_per_nm, dirichlet_mask, dirichlet_values)
+
+
+def solve_poisson_2d(
+    grid: Grid2D,
+    eps_r: np.ndarray,
+    rho_c_per_nm2: np.ndarray,
+    dirichlet_mask: np.ndarray,
+    dirichlet_values: np.ndarray,
+) -> np.ndarray:
+    """2-D Poisson solve; ``rho`` in C/nm^2.
+
+    The 2-D problem describes a geometry that is translationally invariant
+    in the third direction; charge is then per unit area of the simulated
+    plane (equivalently, volumetric charge integrated over the out-of-plane
+    unit length).
+    """
+    return _assemble_and_solve(grid.shape, grid.spacings, eps_r,
+                               rho_c_per_nm2, dirichlet_mask, dirichlet_values)
+
+
+def solve_poisson_3d(
+    grid: Grid3D,
+    eps_r: np.ndarray,
+    rho_c_per_nm3: np.ndarray,
+    dirichlet_mask: np.ndarray,
+    dirichlet_values: np.ndarray,
+) -> np.ndarray:
+    """3-D Poisson solve; ``rho`` in C/nm^3."""
+    return _assemble_and_solve(grid.shape, grid.spacings, eps_r,
+                               rho_c_per_nm3, dirichlet_mask, dirichlet_values)

@@ -1,0 +1,112 @@
+"""2-D P1 finite-element Poisson solver.
+
+Weak form of ``div(eps_r grad(phi)) = -rho / eps_0`` with piecewise-linear
+elements:
+
+``sum_e eps_e \\int_e grad(phi) . grad(v) = (1/eps_0) \\int rho v``
+
+The load integral uses lumped (row-sum) mass, i.e. a third of each element
+area is attributed to each vertex; permittivity is constant per element,
+which is how dielectric regions (oxide vs. vacuum vs. substrate) are
+represented.  This mirrors the paper's choice of FEM "because it can
+easily handle an arbitrary grid for complex geometry" with multiple gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.constants import EPS_0_F_PER_NM
+from repro.poisson.mesh import TriangleMesh
+
+
+def _element_stiffness(coords: np.ndarray) -> np.ndarray:
+    """3x3 P1 stiffness matrix of one triangle (unit permittivity).
+
+    Uses the standard gradient formula: with vertices ``p0, p1, p2`` and
+    signed doubled area ``D``, the basis gradients are constant per
+    element and the stiffness is ``area * G G^T``.
+    """
+    p0, p1, p2 = coords
+    d = (p1[0] - p0[0]) * (p2[1] - p0[1]) - (p2[0] - p0[0]) * (p1[1] - p0[1])
+    if d == 0.0:
+        raise ValueError("degenerate (zero-area) triangle in mesh")
+    area = 0.5 * abs(d)
+    grads = np.array([
+        [p1[1] - p2[1], p2[0] - p1[0]],
+        [p2[1] - p0[1], p0[0] - p2[0]],
+        [p0[1] - p1[1], p1[0] - p0[0]],
+    ]) / d
+    return area * grads @ grads.T
+
+
+def solve_poisson_fem_2d(
+    mesh: TriangleMesh,
+    eps_r_elements: np.ndarray,
+    rho_nodes_c_per_nm2: np.ndarray,
+    dirichlet_nodes: np.ndarray,
+    dirichlet_values: np.ndarray,
+) -> np.ndarray:
+    """Solve for the nodal potential (V) on a triangle mesh.
+
+    Parameters
+    ----------
+    eps_r_elements:
+        Relative permittivity per element, shape ``(n_triangles,)``.
+    rho_nodes_c_per_nm2:
+        Nodal charge density in C/nm^2 (translationally invariant third
+        dimension, same convention as :func:`repro.poisson.fd.solve_poisson_2d`).
+    dirichlet_nodes, dirichlet_values:
+        Node indices with fixed potential and the values to fix them at.
+        Non-Dirichlet boundary nodes receive the natural (zero-flux)
+        boundary condition.
+    """
+    eps_r_elements = np.asarray(eps_r_elements, dtype=float)
+    rho = np.asarray(rho_nodes_c_per_nm2, dtype=float)
+    dirichlet_nodes = np.asarray(dirichlet_nodes, dtype=int)
+    dirichlet_values = np.asarray(dirichlet_values, dtype=float)
+
+    if eps_r_elements.shape != (mesh.n_triangles,):
+        raise ValueError(
+            f"eps_r_elements must have shape ({mesh.n_triangles},), "
+            f"got {eps_r_elements.shape}")
+    if np.any(eps_r_elements <= 0.0):
+        raise ValueError("permittivity must be positive in every element")
+    if rho.shape != (mesh.n_nodes,):
+        raise ValueError(
+            f"rho must have shape ({mesh.n_nodes},), got {rho.shape}")
+    if dirichlet_nodes.size == 0:
+        raise ValueError("at least one Dirichlet node is required")
+    if dirichlet_nodes.shape != dirichlet_values.shape:
+        raise ValueError("dirichlet_nodes and dirichlet_values mismatch")
+
+    n = mesh.n_nodes
+    rows, cols, vals = [], [], []
+    load = np.zeros(n)
+    areas = mesh.element_areas()
+
+    for e, tri in enumerate(mesh.triangles):
+        ke = eps_r_elements[e] * _element_stiffness(mesh.nodes[tri])
+        for a in range(3):
+            for b in range(3):
+                rows.append(tri[a])
+                cols.append(tri[b])
+                vals.append(ke[a, b])
+        # Lumped load: one third of the element area per vertex.
+        load[tri] += areas[e] / 3.0 * rho[tri] / EPS_0_F_PER_NM
+
+    k = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+    mask = np.zeros(n, dtype=bool)
+    mask[dirichlet_nodes] = True
+    fixed = np.zeros(n)
+    fixed[dirichlet_nodes] = dirichlet_values
+
+    free = ~mask
+    b = load - k @ fixed
+    phi = fixed.copy()
+    if np.any(free):
+        phi[free] = spla.spsolve(k[free][:, free].tocsc(), b[free])
+    return phi

@@ -1,0 +1,131 @@
+"""Structured grids for the finite-difference Poisson solvers.
+
+Grids are node-centered and rectilinear with uniform spacing per axis.
+Lengths are in nanometres throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid1D:
+    """Uniform 1-D grid on ``[0, length]`` with ``n`` nodes."""
+
+    length_nm: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.length_nm <= 0.0:
+            raise ValueError(f"length must be positive, got {self.length_nm}")
+        if self.n < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.n}")
+
+    @property
+    def spacing_nm(self) -> float:
+        return self.length_nm / (self.n - 1)
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        return np.linspace(0.0, self.length_nm, self.n)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return (self.n,)
+
+    @property
+    def spacings(self) -> tuple[float, ...]:
+        return (self.spacing_nm,)
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """Uniform 2-D grid on ``[0, lx] x [0, ly]``."""
+
+    lx_nm: float
+    ly_nm: float
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.lx_nm <= 0.0 or self.ly_nm <= 0.0:
+            raise ValueError("grid extents must be positive")
+        if self.nx < 2 or self.ny < 2:
+            raise ValueError("need at least 2 nodes per axis")
+
+    @property
+    def dx_nm(self) -> float:
+        return self.lx_nm / (self.nx - 1)
+
+    @property
+    def dy_nm(self) -> float:
+        return self.ly_nm / (self.ny - 1)
+
+    @property
+    def x(self) -> np.ndarray:
+        return np.linspace(0.0, self.lx_nm, self.nx)
+
+    @property
+    def y(self) -> np.ndarray:
+        return np.linspace(0.0, self.ly_nm, self.ny)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return (self.nx, self.ny)
+
+    @property
+    def spacings(self) -> tuple[float, ...]:
+        return (self.dx_nm, self.dy_nm)
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(X, Y)`` arrays of shape ``(nx, ny)`` (ij indexing)."""
+        return np.meshgrid(self.x, self.y, indexing="ij")
+
+    def nearest_index(self, x_nm: float, y_nm: float) -> tuple[int, int]:
+        """Indices of the node closest to a physical point."""
+        i = int(round(np.clip(x_nm / self.dx_nm, 0, self.nx - 1)))
+        j = int(round(np.clip(y_nm / self.dy_nm, 0, self.ny - 1)))
+        return i, j
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """Uniform 3-D grid on ``[0, lx] x [0, ly] x [0, lz]``."""
+
+    lx_nm: float
+    ly_nm: float
+    lz_nm: float
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        if min(self.lx_nm, self.ly_nm, self.lz_nm) <= 0.0:
+            raise ValueError("grid extents must be positive")
+        if min(self.nx, self.ny, self.nz) < 2:
+            raise ValueError("need at least 2 nodes per axis")
+
+    @property
+    def spacings(self) -> tuple[float, ...]:
+        return (self.lx_nm / (self.nx - 1),
+                self.ly_nm / (self.ny - 1),
+                self.lz_nm / (self.nz - 1))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def x(self) -> np.ndarray:
+        return np.linspace(0.0, self.lx_nm, self.nx)
+
+    @property
+    def y(self) -> np.ndarray:
+        return np.linspace(0.0, self.ly_nm, self.ny)
+
+    @property
+    def z(self) -> np.ndarray:
+        return np.linspace(0.0, self.lz_nm, self.nz)

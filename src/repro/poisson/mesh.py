@@ -1,0 +1,106 @@
+"""Triangular meshes for the 2-D finite-element Poisson solver.
+
+Only what the device geometry needs: a structured triangulation of a
+rectangle (each grid cell split into two triangles) with helpers to locate
+boundary nodes and tag regions.  The FEM solver itself is mesh-agnostic and
+accepts any valid node/triangle arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TriangleMesh:
+    """An unstructured triangle mesh.
+
+    Attributes
+    ----------
+    nodes:
+        Node coordinates, shape ``(n_nodes, 2)`` in nm.
+    triangles:
+        Vertex indices per element, shape ``(n_triangles, 3)``.  The solver
+        orients elements automatically, so winding order is free.
+    """
+
+    nodes: np.ndarray
+    triangles: np.ndarray
+
+    def __post_init__(self) -> None:
+        nodes = np.asarray(self.nodes, dtype=float)
+        tris = np.asarray(self.triangles, dtype=int)
+        if nodes.ndim != 2 or nodes.shape[1] != 2:
+            raise ValueError(f"nodes must be (n, 2), got {nodes.shape}")
+        if tris.ndim != 2 or tris.shape[1] != 3:
+            raise ValueError(f"triangles must be (m, 3), got {tris.shape}")
+        if tris.min(initial=0) < 0 or tris.max(initial=-1) >= len(nodes):
+            raise ValueError("triangle vertex index out of range")
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "triangles", tris)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.nodes.shape[0]
+
+    @property
+    def n_triangles(self) -> int:
+        return self.triangles.shape[0]
+
+    def element_areas(self) -> np.ndarray:
+        """Signed areas made positive; zero-area elements are invalid."""
+        p = self.nodes
+        t = self.triangles
+        v1 = p[t[:, 1]] - p[t[:, 0]]
+        v2 = p[t[:, 2]] - p[t[:, 0]]
+        return 0.5 * np.abs(v1[:, 0] * v2[:, 1] - v1[:, 1] * v2[:, 0])
+
+    def element_centroids(self) -> np.ndarray:
+        """Centroid per element, shape (n_triangles, 2)."""
+        return self.nodes[self.triangles].mean(axis=1)
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Indices of nodes on the mesh boundary.
+
+        A boundary edge belongs to exactly one triangle; interior edges to
+        two.  Returns the sorted unique node indices of boundary edges.
+        """
+        t = self.triangles
+        edges = np.vstack([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]])
+        edges = np.sort(edges, axis=1)
+        uniq, counts = np.unique(edges, axis=0, return_counts=True)
+        boundary_edges = uniq[counts == 1]
+        return np.unique(boundary_edges)
+
+
+def rectangle_mesh(lx_nm: float, ly_nm: float, nx: int, ny: int) -> TriangleMesh:
+    """Structured triangulation of ``[0, lx] x [0, ly]``.
+
+    ``nx`` / ``ny`` are node counts per axis; each of the
+    ``(nx-1)(ny-1)`` cells is split along its diagonal into two triangles.
+    """
+    if nx < 2 or ny < 2:
+        raise ValueError("need at least 2 nodes per axis")
+    if lx_nm <= 0.0 or ly_nm <= 0.0:
+        raise ValueError("rectangle extents must be positive")
+
+    xs = np.linspace(0.0, lx_nm, nx)
+    ys = np.linspace(0.0, ly_nm, ny)
+    xx, yy = np.meshgrid(xs, ys, indexing="ij")
+    nodes = np.column_stack([xx.ravel(), yy.ravel()])
+
+    def node_id(i: int, j: int) -> int:
+        return i * ny + j
+
+    triangles = []
+    for i in range(nx - 1):
+        for j in range(ny - 1):
+            a = node_id(i, j)
+            b = node_id(i + 1, j)
+            c = node_id(i + 1, j + 1)
+            d = node_id(i, j + 1)
+            triangles.append((a, b, c))
+            triangles.append((a, c, d))
+    return TriangleMesh(nodes=nodes, triangles=np.array(triangles))

@@ -1,0 +1,27 @@
+"""Reporting: paper-style tables, figure data series, ASCII plots.
+
+The environment has no plotting stack, so "figures" are produced as data
+series (exportable to CSV) plus ASCII renderings; tables are formatted to
+mirror the paper's layout (e.g. the comma-separated
+"one affected, all affected" cells of Tables 2-4).
+
+:mod:`repro.reporting.experiments` hosts the runnable experiment registry
+(one entry per table/figure of the paper), shared by the CLI and the
+benchmark harness.
+"""
+
+from repro.reporting.tables import format_table, format_pct_pair
+from repro.reporting.ascii_plot import ascii_line_plot, ascii_histogram
+from repro.reporting.figures import FigureSeries, save_series_csv
+from repro.reporting.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "format_table",
+    "format_pct_pair",
+    "ascii_line_plot",
+    "ascii_histogram",
+    "FigureSeries",
+    "save_series_csv",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,82 @@
+"""Minimal ASCII renderings of line plots and histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_line_plot(
+    x: np.ndarray,
+    ys: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 20,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Plot one or more series against a shared x-axis.
+
+    Each series gets a marker from ``*+o#x%@`` in insertion order; the
+    y-axis is annotated with min/max, the x-axis with its range.
+    """
+    x = np.asarray(x, dtype=float)
+    markers = "*+o#x%@&"
+    series = {}
+    for name, y in ys.items():
+        y = np.asarray(y, dtype=float)
+        if y.shape != x.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+        series[name] = np.log10(np.clip(y, 1e-300, None)) if logy else y
+
+    all_y = np.concatenate(list(series.values()))
+    finite = all_y[np.isfinite(all_y)]
+    if finite.size == 0:
+        return title + "\n(no finite data)"
+    y_lo, y_hi = float(finite.min()), float(finite.max())
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, y) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for xi, yi in zip(x, y):
+            if not np.isfinite(yi):
+                continue
+            col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    prefix = "log10(y)" if logy else "y"
+    lines.append(f"{prefix} in [{y_lo:.3g}, {y_hi:.3g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f" x in [{x_lo:.3g}, {x_hi:.3g}]")
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: int = 30,
+    width: int = 50,
+    title: str = "",
+    marker: str = "#",
+) -> str:
+    """Horizontal-bar histogram."""
+    values = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.size else 0
+    lines = []
+    if title:
+        lines.append(title)
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = marker * (0 if peak == 0 else int(round(width * c / peak)))
+        lines.append(f"{lo:11.4g} .. {hi:11.4g} | {bar} {c}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Figure data series: named (x, y) arrays with CSV export."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass
+class FigureSeries:
+    """One plottable series of a reproduced figure.
+
+    Attributes
+    ----------
+    name:
+        Legend label (e.g. ``"VD = 0.5V"``).
+    x, y:
+        Data arrays.
+    meta:
+        Free-form annotations (units, axis labels, figure id).
+    """
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError(
+                f"series {self.name!r}: x{self.x.shape} vs y{self.y.shape}")
+
+
+def save_series_csv(series: list[FigureSeries], path: str | Path) -> None:
+    """Write series to a long-format CSV (series, x, y)."""
+    path = Path(path)
+    lines = ["series,x,y"]
+    for s in series:
+        for xi, yi in zip(s.x, s.y):
+            lines.append(f"{s.name},{float(xi)!r},{float(yi)!r}")
+    path.write_text("\n".join(lines) + "\n")

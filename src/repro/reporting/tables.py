@@ -1,0 +1,64 @@
+"""Fixed-width ASCII table formatting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_pct_pair(pair: tuple[float, float]) -> str:
+    """Render the paper's "one affected, all affected" cell: ``6,77``."""
+    def fmt(x: float) -> str:
+        if not (x == x):  # NaN
+            return "-"
+        return f"{x:+.0f}"
+    return f"{fmt(pair[0])},{fmt(pair[1])}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    col_sep: str = "  ",
+) -> str:
+    """Render rows as an aligned fixed-width table.
+
+    Cells are stringified with ``str``; numeric alignment is right, text
+    left (decided per column by majority).
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    n_cols = len(str_headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {n_cols}: {row}")
+
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numberish(s: str) -> bool:
+        t = s.replace(",", "").replace("+", "").replace("-", "")
+        t = t.replace(".", "").replace("e", "").replace("E", "")
+        return t.isdigit() or s in ("-", "")
+
+    right = []
+    for i in range(n_cols):
+        votes = sum(1 for row in str_rows if is_numberish(row[i]))
+        right.append(votes >= max(1, len(str_rows) // 2))
+
+    def render_row(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.rjust(widths[i]) if right[i]
+                       else cell.ljust(widths[i]))
+        return col_sep.join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(str_headers))
+    lines.append(col_sep.join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Variability and defect studies (paper Sections 4-5).
+
+Implements the paper's two anomaly mechanisms — GNR width (index)
+variation and gate-oxide charge impurities — under its two array
+scenarios ("one out of four GNRs affected" / "all four affected"), and
+the derived studies: inverter sensitivity tables (Tables 2-4), the ring
+oscillator Monte Carlo (Fig. 6), and the latch butterfly study (Fig. 7).
+"""
+
+from repro.variability.variants import (
+    DeviceVariant,
+    NOMINAL_VARIANT,
+    variant_ribbon_table,
+    variant_array_table,
+)
+from repro.variability.sampling import discretized_normal_choice
+from repro.variability.width import width_variation_study, VariabilityEntry
+from repro.variability.impurity import charge_impurity_study
+from repro.variability.combined import combined_variation_study
+from repro.variability.montecarlo import (
+    MonteCarloResult,
+    run_ring_oscillator_monte_carlo,
+)
+from repro.variability.latch_study import latch_variability_study, LatchCase
+from repro.variability.edge_roughness import (
+    RoughnessStatistics,
+    roughness_ensemble,
+    roughness_width_study,
+    localization_length_cells,
+    effective_gap_widening_ev,
+)
+from repro.variability.oxide import (
+    OxideEntry,
+    oxide_thickness_study,
+    oxide_variant_geometry,
+)
+from repro.variability.yield_model import (
+    ECCAnalysis,
+    cell_failure_probability,
+    required_sec_words_per_data_word,
+    sample_latch_snm,
+)
+
+__all__ = [
+    "RoughnessStatistics",
+    "roughness_ensemble",
+    "roughness_width_study",
+    "localization_length_cells",
+    "effective_gap_widening_ev",
+    "OxideEntry",
+    "oxide_thickness_study",
+    "oxide_variant_geometry",
+    "ECCAnalysis",
+    "cell_failure_probability",
+    "required_sec_words_per_data_word",
+    "sample_latch_snm",
+    "DeviceVariant",
+    "NOMINAL_VARIANT",
+    "variant_ribbon_table",
+    "variant_array_table",
+    "discretized_normal_choice",
+    "width_variation_study",
+    "VariabilityEntry",
+    "charge_impurity_study",
+    "combined_variation_study",
+    "MonteCarloResult",
+    "run_ring_oscillator_monte_carlo",
+    "latch_variability_study",
+    "LatchCase",
+]

@@ -1,0 +1,98 @@
+"""Latch variability study: butterfly curves and static power (Fig. 7).
+
+The paper's three cases: nominal latch, single GNR affected, all GNRs
+affected, with the worst-case anomaly combination "when the nGNRFET has
+N=9 and a +q charge impurity, and the pGNRFET has N=18 and a -q charge
+impurity".  Due to the n/p asymmetry one eye of the butterfly collapses
+(near-zero SNM) and static power rises over 5x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.inverter import CircuitParameters, add_inverter, inverter_vtc
+from repro.circuit.dc import solve_dc
+from repro.circuit.netlist import Circuit
+from repro.circuit.snm import ButterflyData, butterfly_curves, static_noise_margin
+from repro.device.tables import DeviceTable
+from repro.exploration.technology import GNRFETTechnology
+from repro.variability.variants import DeviceVariant, variant_array_table
+
+#: The paper's worst-case latch anomaly.
+WORST_CASE_N = DeviceVariant(n_index=9, impurity_e=+1.0)
+WORST_CASE_P = DeviceVariant(n_index=18, impurity_e=-1.0)
+
+
+@dataclass
+class LatchCase:
+    """One latch configuration's butterfly and summary metrics."""
+
+    label: str
+    butterfly: ButterflyData
+    snm_v: float
+    static_power_w: float
+
+
+def _latch_static_power(nt: DeviceTable, pt: DeviceTable, vdd: float,
+                        params: CircuitParameters) -> float:
+    circuit = Circuit("latch")
+    q = circuit.node("q")
+    qb = circuit.node("qb")
+    vdd_node = circuit.node("vdd")
+    circuit.fix(vdd_node, vdd)
+    add_inverter(circuit, "inv1", q, qb, vdd_node, nt, pt, params)
+    add_inverter(circuit, "inv2", qb, q, vdd_node, nt, pt, params)
+    power = 0.0
+    for q_val in (0.0, vdd):
+        v0 = np.full(circuit.n_nodes, vdd / 2.0)
+        v0[vdd_node] = vdd
+        v0[q] = q_val
+        v0[qb] = vdd - q_val
+        result = solve_dc(circuit, v0=v0)
+        power += vdd * abs(result.source_current(vdd_node))
+    return power / 2.0
+
+
+def latch_case(
+    tech: GNRFETTechnology,
+    label: str,
+    n_variant: DeviceVariant,
+    p_variant: DeviceVariant,
+    n_affected: int,
+    vdd: float,
+    vt: float,
+) -> LatchCase:
+    """Evaluate one latch configuration (both inverters identical)."""
+    offset = tech.gate_offset_for_vt(vt)
+    nt = variant_array_table(n_variant, +1, n_affected, offset,
+                             tech.params.n_ribbons, tech.geometry)
+    pt = variant_array_table(p_variant, -1, n_affected, offset,
+                             tech.params.n_ribbons, tech.geometry)
+    vin, vout = inverter_vtc(nt, pt, vdd, tech.params)
+    butterfly = butterfly_curves(vin, vout)
+    return LatchCase(
+        label=label,
+        butterfly=butterfly,
+        snm_v=static_noise_margin(butterfly),
+        static_power_w=_latch_static_power(nt, pt, vdd, tech.params))
+
+
+def latch_variability_study(
+    tech: GNRFETTechnology,
+    vdd: float = 0.4,
+    vt: float = 0.13,
+    n_variant: DeviceVariant = WORST_CASE_N,
+    p_variant: DeviceVariant = WORST_CASE_P,
+) -> list[LatchCase]:
+    """The paper's three Fig. 7 cases in order: nominal / single / all."""
+    nominal = DeviceVariant()
+    return [
+        latch_case(tech, "nominal", nominal, nominal, 0, vdd, vt),
+        latch_case(tech, "single GNR affected", n_variant, p_variant,
+                   1, vdd, vt),
+        latch_case(tech, "all GNRs affected", n_variant, p_variant,
+                   tech.params.n_ribbons, vdd, vt),
+    ]

@@ -1,0 +1,246 @@
+"""Monte Carlo over the 15-stage ring oscillator (paper Fig. 6).
+
+Sampling granularity
+--------------------
+Every GNR ribbon of every device draws its own width and impurity from
+the paper's discretized normal distributions ("Monte Carlo simulations
+with independent variations in width (N=9/12/15) and charge impurities
+(-q/0/+q) of all inverters").  Per-ribbon independence matters: the
+4-ribbon array averages over draws, which is what keeps the mean
+frequency shift at the paper's ~-10% instead of the several-times-larger
+shift a whole-device draw would produce.  A ``granularity="device"``
+mode (all four ribbons share the draw) is provided for the ablation
+bench.
+
+Per-sample evaluation uses a stage-delay surrogate rather than a full
+transient: all per-ribbon electrical quantities (switched gate charge,
+effective drive, Miller charge, off-leakage) compose *linearly* into
+array quantities, so one cached evaluation per (variant, polarity) pair
+serves every sample.  A single calibration factor — the ratio of the
+full-transient nominal frequency to the surrogate nominal frequency —
+maps surrogate frequencies onto the transient scale; distribution shapes
+and mean shifts (the quantities Fig. 6 reports) are what the study
+asserts.  The surrogate is validated against direct transients in
+``benchmarks/bench_ablation_estimators.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.ring_oscillator import simulate_ring_oscillator
+from repro.device.tables import DeviceTable
+from repro.exploration.technology import GNRFETTechnology
+from repro.variability.sampling import discretized_normal_choice
+from repro.variability.variants import DeviceVariant, variant_ribbon_table
+
+
+@dataclass
+class MonteCarloResult:
+    """Sampled oscillator metrics plus the nominal reference.
+
+    Frequencies in Hz, powers in W; ``samples`` rows align across arrays.
+    """
+
+    frequencies_hz: np.ndarray
+    dynamic_power_w: np.ndarray
+    static_power_w: np.ndarray
+    nominal_frequency_hz: float
+    nominal_dynamic_power_w: float
+    nominal_static_power_w: float
+    n_stages: int
+    vdd: float
+    calibration_factor: float = 1.0
+    variant_counts: dict = field(default_factory=dict)
+
+    @property
+    def mean_frequency_shift(self) -> float:
+        """Relative shift of the mean frequency vs nominal (paper: ~ -10%)."""
+        return float(np.mean(self.frequencies_hz)
+                     / self.nominal_frequency_hz - 1.0)
+
+    @property
+    def mean_static_power_shift(self) -> float:
+        """Relative shift of mean static power (paper: ~ +23%)."""
+        return float(np.mean(self.static_power_w)
+                     / self.nominal_static_power_w - 1.0)
+
+    @property
+    def mean_dynamic_power_shift(self) -> float:
+        """Relative shift of mean dynamic power (paper: ~unchanged)."""
+        return float(np.mean(self.dynamic_power_w)
+                     / self.nominal_dynamic_power_w - 1.0)
+
+
+class _RibbonCache:
+    """Per-(variant, polarity) electrical quantities of a single ribbon.
+
+    Everything stored here composes linearly over the ribbons of an
+    array (currents and charges add), so array- and pair-level values
+    are cheap sums at sampling time.
+    """
+
+    def __init__(self, tech: GNRFETTechnology, vdd: float, vt: float):
+        self.tech = tech
+        self.vdd = vdd
+        self.offset = tech.gate_offset_for_vt(vt)
+        self._data: dict[tuple[DeviceVariant, int], dict] = {}
+
+    def ribbon(self, variant: DeviceVariant, polarity: int) -> dict:
+        key = (variant, polarity)
+        if key not in self._data:
+            table = variant_ribbon_table(
+                variant, polarity, self.tech.geometry).with_gate_offset(
+                    self.offset)
+            vdd = self.vdd
+            vs = np.linspace(0.0, vdd, 21)
+            if polarity > 0:
+                caps = [sum(table.capacitances(float(v), vdd - float(v)))
+                        for v in vs]
+            else:
+                caps = [sum(table.capacitances(vdd - float(v), float(v)))
+                        for v in vs]
+            g_gate = float(np.trapezoid(caps, vs))
+            cgd_ends = (table.capacitances(0.0, vdd)[1]
+                        + table.capacitances(vdd, 0.0)[1])
+            self._data[key] = {
+                "g_gate": g_gate,
+                "q_self": cgd_ends * vdd,
+                "i1": float(table.current(vdd, vdd)),
+                "i2": float(table.current(vdd, vdd / 2.0)),
+                "i_off": float(table.current(0.0, vdd)),
+            }
+        return self._data[key]
+
+    def device(self, ribbons: list[dict]) -> dict:
+        """Linear composition of per-ribbon data into one device."""
+        return {k: sum(r[k] for r in ribbons)
+                for k in ("g_gate", "q_self", "i1", "i2", "i_off")}
+
+
+def _drive_a(device: dict, vdd: float, r_contact: float) -> float:
+    i_eff = 0.5 * (device["i1"] + device["i2"])
+    r = 2.0 * r_contact
+    return i_eff / (1.0 + r * i_eff / max(vdd, 1e-9))
+
+
+def _surrogate_oscillator(stages: list[tuple[dict, dict]],
+                          nominal: tuple[dict, dict],
+                          vdd: float, params) -> tuple[float, float, float]:
+    """(frequency, dynamic power, ring static power) of one sample.
+
+    ``stages`` holds (n_device, p_device) composed dictionaries; replica
+    loads are nominal.
+    """
+    n_stages = len(stages)
+    nom_n, nom_p = nominal
+    c_par4 = 4.0 * params.c_parasitic_f
+    q_gate_nom = nom_n["g_gate"] + nom_p["g_gate"] + c_par4 * vdd
+    p_stat_nom = vdd * (nom_n["i_off"] + nom_p["i_off"]) / 2.0
+
+    total_delay = 0.0
+    energy_per_cycle = 0.0
+    p_stat = n_stages * (params.fanout - 1) * p_stat_nom
+    for i, (dev_n, dev_p) in enumerate(stages):
+        nxt_n, nxt_p = stages[(i + 1) % n_stages]
+        q_gate_next = nxt_n["g_gate"] + nxt_p["g_gate"] + c_par4 * vdd
+        q_load = (params.fanout - 1) * q_gate_nom + q_gate_next
+        q_self = (dev_n["q_self"] + dev_p["q_self"]
+                  + (2.0 * params.c_parasitic_f + params.c_wire_f) * vdd)
+        q_total = q_load + q_self
+        i_n = _drive_a(dev_n, vdd, params.contact_resistance_ohm)
+        i_p = _drive_a(dev_p, vdd, params.contact_resistance_ohm)
+        total_delay += 0.25 * q_total * (1.0 / i_n + 1.0 / i_p)
+        energy_per_cycle += q_total * vdd
+        p_stat += vdd * (dev_n["i_off"] + dev_p["i_off"]) / 2.0
+    freq = 1.0 / (2.0 * total_delay)
+    return freq, energy_per_cycle * freq, p_stat
+
+
+def run_ring_oscillator_monte_carlo(
+    tech: GNRFETTechnology,
+    n_samples: int = 1000,
+    vdd: float = 0.4,
+    vt: float = 0.13,
+    n_stages: int = 15,
+    width_levels: tuple[int, int, int] = (9, 12, 15),
+    charge_levels: tuple[float, float, float] = (-1.0, 0.0, 1.0),
+    seed: int = 2008,
+    granularity: str = "ribbon",
+    calibrate_against_transient: bool = False,
+) -> MonteCarloResult:
+    """Fig. 6: sample width/impurity variations of every inverter.
+
+    ``granularity="ribbon"`` (default, the paper's physical situation)
+    draws independently for each of the 4 ribbons of each device;
+    ``"device"`` makes all ribbons of a device share one draw (the upper
+    bound of Section 4's two scenarios - used by the ablation bench).
+
+    ``calibrate_against_transient=True`` additionally runs one full
+    nominal ring-oscillator transient and rescales all frequencies by the
+    transient/surrogate ratio.
+    """
+    if granularity not in ("ribbon", "device"):
+        raise ValueError(f"granularity must be 'ribbon' or 'device', "
+                         f"got {granularity!r}")
+    rng = np.random.default_rng(seed)
+    cache = _RibbonCache(tech, vdd, vt)
+    n_ribbons = tech.params.n_ribbons
+
+    nominal_variant = DeviceVariant()
+    nom_n = cache.device([cache.ribbon(nominal_variant, +1)] * n_ribbons)
+    nom_p = cache.device([cache.ribbon(nominal_variant, -1)] * n_ribbons)
+    nominal = (nom_n, nom_p)
+
+    f_nom, p_dyn_nom, p_stat_nom = _surrogate_oscillator(
+        [nominal] * n_stages, nominal, vdd, tech.params)
+
+    calibration = 1.0
+    if calibrate_against_transient:
+        nt, pt = tech.inverter_tables(vt)
+        metrics = simulate_ring_oscillator(nt, pt, vdd, n_stages,
+                                           tech.params)
+        calibration = metrics.frequency_hz / f_nom
+
+    counts: dict[str, int] = {}
+
+    def draw_device(polarity: int) -> dict:
+        if granularity == "ribbon":
+            ribbons = []
+            for _ in range(n_ribbons):
+                v = DeviceVariant(
+                    n_index=discretized_normal_choice(rng, width_levels),
+                    impurity_e=discretized_normal_choice(rng, charge_levels))
+                counts[v.label()] = counts.get(v.label(), 0) + 1
+                ribbons.append(cache.ribbon(v, polarity))
+            return cache.device(ribbons)
+        v = DeviceVariant(
+            n_index=discretized_normal_choice(rng, width_levels),
+            impurity_e=discretized_normal_choice(rng, charge_levels))
+        counts[v.label()] = counts.get(v.label(), 0) + 1
+        return cache.device([cache.ribbon(v, polarity)] * n_ribbons)
+
+    freqs = np.empty(n_samples)
+    p_dyns = np.empty(n_samples)
+    p_stats = np.empty(n_samples)
+    for s in range(n_samples):
+        stages = [(draw_device(+1), draw_device(-1))
+                  for _ in range(n_stages)]
+        f, p_dyn, p_stat = _surrogate_oscillator(stages, nominal, vdd,
+                                                 tech.params)
+        freqs[s] = f
+        p_dyns[s] = p_dyn
+        p_stats[s] = p_stat
+
+    return MonteCarloResult(
+        frequencies_hz=freqs * calibration,
+        dynamic_power_w=p_dyns * calibration,
+        static_power_w=p_stats,
+        nominal_frequency_hz=f_nom * calibration,
+        nominal_dynamic_power_w=p_dyn_nom * calibration,
+        nominal_static_power_w=p_stat_nom,
+        n_stages=n_stages, vdd=vdd,
+        calibration_factor=calibration,
+        variant_counts=counts)

@@ -1,0 +1,103 @@
+"""Tests for tight-binding Hamiltonian construction."""
+
+import numpy as np
+import pytest
+
+from repro.atomistic.hamiltonian import (
+    block_tridiagonal_blocks,
+    bloch_hamiltonian,
+    build_real_space_hamiltonian,
+    build_unit_cell_hamiltonian,
+)
+from repro.atomistic.lattice import ArmchairGNR
+from repro.constants import T_HOPPING_EV
+
+
+@pytest.fixture(scope="module")
+def ribbon():
+    return ArmchairGNR(9)
+
+
+class TestUnitCell:
+    def test_h00_symmetric(self, ribbon):
+        h00, _ = build_unit_cell_hamiltonian(ribbon)
+        assert np.allclose(h00, h00.T)
+
+    def test_hopping_sign_and_magnitude(self, ribbon):
+        h00, h01 = build_unit_cell_hamiltonian(ribbon)
+        nonzero = h00[h00 != 0.0]
+        assert np.all(nonzero < 0.0)
+        # Bulk bonds are -t; edge dimers are -(1.12) t.
+        values = set(np.round(np.unique(nonzero), 6))
+        assert -T_HOPPING_EV in {round(v, 6) for v in values}
+        assert round(-T_HOPPING_EV * 1.12, 6) in {round(v, 6) for v in values}
+        assert np.all(h01[h01 != 0.0] == -T_HOPPING_EV)
+
+    def test_no_onsite_terms(self, ribbon):
+        h00, _ = build_unit_cell_hamiltonian(ribbon)
+        assert np.all(np.diag(h00) == 0.0)
+
+    def test_edge_relaxation_toggle(self, ribbon):
+        h_rel, _ = build_unit_cell_hamiltonian(ribbon, edge_relaxation=0.12)
+        h_flat, _ = build_unit_cell_hamiltonian(ribbon, edge_relaxation=0.0)
+        diff = h_rel - h_flat
+        # Only the two edge dimer bonds (4 matrix entries) differ.
+        assert np.count_nonzero(diff) == 4
+
+
+class TestBloch:
+    def test_hermitian_at_generic_k(self, ribbon):
+        h00, h01 = build_unit_cell_hamiltonian(ribbon)
+        hk = bloch_hamiltonian(h00, h01, 1.234, ribbon.period_nm)
+        assert np.allclose(hk, hk.conj().T)
+
+    def test_gamma_point_is_real(self, ribbon):
+        h00, h01 = build_unit_cell_hamiltonian(ribbon)
+        hk = bloch_hamiltonian(h00, h01, 0.0, ribbon.period_nm)
+        assert np.allclose(hk.imag, 0.0)
+
+    def test_periodicity_in_k(self, ribbon):
+        h00, h01 = build_unit_cell_hamiltonian(ribbon)
+        g = 2.0 * np.pi / ribbon.period_nm
+        h1 = bloch_hamiltonian(h00, h01, 0.3, ribbon.period_nm)
+        h2 = bloch_hamiltonian(h00, h01, 0.3 + g, ribbon.period_nm)
+        assert np.allclose(h1, h2, atol=1e-12)
+
+
+class TestRealSpace:
+    def test_symmetric(self):
+        r = ArmchairGNR(6, n_cells=3)
+        h = build_real_space_hamiltonian(r)
+        assert np.allclose(h, h.T)
+
+    def test_scalar_onsite(self):
+        r = ArmchairGNR(6, n_cells=2)
+        h = build_real_space_hamiltonian(r, onsite_ev=0.5)
+        assert np.allclose(np.diag(h), 0.5)
+
+    def test_array_onsite(self):
+        r = ArmchairGNR(6, n_cells=2)
+        onsite = np.linspace(0.0, 1.0, r.n_atoms)
+        h = build_real_space_hamiltonian(r, onsite_ev=onsite)
+        assert np.allclose(np.diag(h), onsite)
+
+    def test_wrong_onsite_shape_raises(self):
+        r = ArmchairGNR(6, n_cells=2)
+        with pytest.raises(ValueError):
+            build_real_space_hamiltonian(r, onsite_ev=np.zeros(5))
+
+    def test_blocks_reassemble_full_matrix(self):
+        r = ArmchairGNR(6, n_cells=3)
+        onsite = np.linspace(-0.2, 0.4, r.n_atoms)
+        full = build_real_space_hamiltonian(r, onsite_ev=onsite)
+        diag, coup = block_tridiagonal_blocks(r, onsite_ev=onsite)
+        per = r.atoms_per_cell
+        rebuilt = np.zeros_like(full)
+        for i, d in enumerate(diag):
+            rebuilt[i * per:(i + 1) * per, i * per:(i + 1) * per] = d
+        for i, t in enumerate(coup):
+            rebuilt[i * per:(i + 1) * per,
+                    (i + 1) * per:(i + 2) * per] = t
+            rebuilt[(i + 1) * per:(i + 2) * per,
+                    i * per:(i + 1) * per] = t.T
+        assert np.allclose(rebuilt, full)

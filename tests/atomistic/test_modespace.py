@@ -1,0 +1,85 @@
+"""Tests for the transverse-mode (subband) reduction."""
+
+import numpy as np
+import pytest
+
+from repro.atomistic.bandstructure import band_gap_ev, subband_edges
+from repro.atomistic.modespace import transverse_modes
+from repro.constants import HBAR_SI, Q_E
+
+
+class TestTransverseModes:
+    def test_count_and_ordering(self):
+        modes = transverse_modes(12, 4)
+        assert len(modes) == 4
+        edges = [m.edge_ev for m in modes]
+        assert edges == sorted(edges)
+        assert [m.index for m in modes] == [0, 1, 2, 3]
+
+    def test_lowest_mode_is_half_gap(self):
+        modes = transverse_modes(9, 2)
+        assert modes[0].edge_ev == pytest.approx(band_gap_ev(9) / 2, abs=1e-9)
+
+    def test_matches_subband_edges(self):
+        modes = transverse_modes(15, 3)
+        edges = subband_edges(15, 3)
+        for m, e in zip(modes, edges):
+            assert m.edge_ev == pytest.approx(float(e), abs=1e-12)
+
+    def test_caching_returns_same_object(self):
+        a = transverse_modes(12, 3)
+        b = transverse_modes(12, 3)
+        assert a is b
+
+    def test_rejects_zero_modes(self):
+        with pytest.raises(ValueError):
+            transverse_modes(12, 0)
+
+
+class TestDispersionRelations:
+    def test_kappa_zero_outside_gap(self):
+        mode = transverse_modes(12, 1)[0]
+        assert mode.kappa_per_nm(mode.edge_ev * 1.5) == 0.0
+        assert mode.kappa_per_nm(-mode.edge_ev * 1.5) == 0.0
+
+    def test_kappa_max_at_midgap(self):
+        mode = transverse_modes(12, 1)[0]
+        energies = np.linspace(-mode.edge_ev, mode.edge_ev, 41)
+        kappa = mode.kappa_per_nm(energies)
+        assert np.argmax(kappa) == 20  # midgap
+
+    def test_kappa_midgap_value(self):
+        """kappa(0) = E_n / (hbar v)."""
+        mode = transverse_modes(12, 1)[0]
+        hv_ev_nm = HBAR_SI * mode.velocity_m_per_s / Q_E * 1e9
+        assert mode.kappa_per_nm(0.0) == pytest.approx(
+            mode.edge_ev / hv_ev_nm, rel=1e-12)
+
+    def test_wavevector_zero_inside_gap(self):
+        mode = transverse_modes(12, 1)[0]
+        assert mode.wavevector_per_nm(0.0) == 0.0
+
+    def test_kappa_wavevector_complement(self):
+        """kappa and k are complementary branches of the same two-band
+        dispersion: kappa(E)^2 - ... continuity at the band edge."""
+        mode = transverse_modes(9, 1)[0]
+        eps = 1e-6
+        assert mode.kappa_per_nm(mode.edge_ev - eps) == pytest.approx(
+            0.0, abs=1e-2)
+        assert mode.wavevector_per_nm(mode.edge_ev + eps) == pytest.approx(
+            0.0, abs=1e-2)
+
+    def test_dispersion_consistency_with_bands(self):
+        """E(k) from the two-band model should track the TB band within a
+        few percent up to ~0.3 eV above the edge."""
+        from repro.atomistic.bandstructure import compute_bands
+
+        mode = transverse_modes(12, 1)[0]
+        bands = compute_bands(12, n_k=401)
+        cond = bands.conduction_bands()[:, 0]
+        ks = bands.k_per_nm
+        hv_ev_nm = HBAR_SI * mode.velocity_m_per_s / Q_E * 1e9
+        model = np.sqrt(mode.edge_ev ** 2 + (hv_ev_nm * ks) ** 2)
+        window = cond < mode.edge_ev + 0.3
+        err = np.abs(model[window] - cond[window])
+        assert err.max() < 0.05

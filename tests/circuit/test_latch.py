@@ -1,0 +1,43 @@
+"""Tests for the latch builder and its metrics."""
+
+import pytest
+
+from repro.circuit.latch import (
+    build_latch,
+    latch_butterfly,
+    latch_snm,
+    latch_static_power,
+)
+from repro.circuit.inverter import inverter_snm, inverter_static_power_w
+
+
+class TestLatch:
+    def test_build_validates(self, nominal_pair, params):
+        nt, pt = nominal_pair
+        c = build_latch(nt, pt, 0.4, params)
+        c.validate()
+        assert c.n_nodes == 2 + 1 + 8  # q, qb, vdd, 2x4 internals
+
+    def test_snm_matches_inverter_pair(self, nominal_pair, params):
+        """A latch of two identical inverters has the inverter-pair SNM."""
+        nt, pt = nominal_pair
+        assert latch_snm(nt, pt, 0.4, params) == pytest.approx(
+            inverter_snm(nt, pt, 0.4, params), abs=5e-3)
+
+    def test_butterfly_data_shape(self, nominal_pair, params):
+        nt, pt = nominal_pair
+        b = latch_butterfly(nt, pt, 0.4, params, n_points=31)
+        assert b.v_in.shape == (31,)
+        assert b.forward.shape == (31,)
+
+    def test_static_power_two_inverters(self, nominal_pair, params):
+        """Hold-state leakage ~ 2x the single-inverter leakage (each
+        inverter sits at one of the two input states)."""
+        nt, pt = nominal_pair
+        p_latch = latch_static_power(nt, pt, 0.4, params)
+        p_inv = inverter_static_power_w(nt, pt, 0.4, params)
+        assert p_latch == pytest.approx(2.0 * p_inv, rel=0.3)
+
+    def test_static_power_positive(self, nominal_pair, params):
+        nt, pt = nominal_pair
+        assert latch_static_power(nt, pt, 0.4, params) > 0.0

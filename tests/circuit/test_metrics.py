@@ -1,0 +1,89 @@
+"""Tests for waveform metric extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.metrics import (
+    average_power_w,
+    crossing_times,
+    oscillation_frequency,
+    propagation_delays,
+)
+from repro.errors import AnalysisError
+
+
+class TestCrossingTimes:
+    def test_linear_ramp(self):
+        t = np.linspace(0, 1, 11)
+        x = t.copy()
+        c = crossing_times(t, x, 0.55, "rising")
+        assert len(c) == 1
+        assert c[0] == pytest.approx(0.55, abs=1e-12)
+
+    def test_direction_filter(self):
+        t = np.linspace(0, 2 * np.pi, 2001)
+        x = np.sin(t)
+        rising = crossing_times(t, x, 0.0, "rising")
+        falling = crossing_times(t, x, 0.0, "falling")
+        both = crossing_times(t, x, 0.0, "both")
+        assert len(rising) + len(falling) == len(both)
+        assert falling[0] == pytest.approx(np.pi, abs=1e-3)
+
+    def test_no_crossings(self):
+        t = np.linspace(0, 1, 11)
+        assert crossing_times(t, np.ones(11), 2.0).size == 0
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            crossing_times(np.zeros(3), np.zeros(3), 0.0, "up")
+
+
+class TestPropagationDelays:
+    def test_known_shifted_square_waves(self):
+        t = np.linspace(0, 100, 10001)
+        vdd = 1.0
+        vin = np.where((t % 50) < 25, vdd, 0.0)
+        delay = 3.0
+        vout = np.where(((t - delay) % 50) < 25, 0.0, vdd)  # inverted
+        t_plh, t_phl = propagation_delays(t, vin, vout, vdd)
+        assert t_plh == pytest.approx(delay, abs=0.02)
+        assert t_phl == pytest.approx(delay, abs=0.02)
+
+    def test_missing_edge_raises(self):
+        t = np.linspace(0, 10, 101)
+        vin = np.where(t > 5, 1.0, 0.0)
+        vout = np.ones_like(t)  # output never falls
+        with pytest.raises(AnalysisError):
+            propagation_delays(t, vin, vout, 1.0)
+
+
+class TestOscillationFrequency:
+    def test_sine_frequency(self):
+        f0 = 3.7e9
+        t = np.linspace(0, 3e-9, 6001)
+        x = 0.5 + 0.5 * np.sin(2 * np.pi * f0 * t)
+        f = oscillation_frequency(t, x, 1.0, settle_fraction=0.1)
+        assert f == pytest.approx(f0, rel=1e-3)
+
+    def test_requires_enough_periods(self):
+        t = np.linspace(0, 1e-9, 101)
+        x = 0.5 + 0.5 * np.sin(2 * np.pi * 1e9 * t)  # one period
+        with pytest.raises(AnalysisError):
+            oscillation_frequency(t, x, 1.0, settle_fraction=0.5)
+
+
+class TestAveragePower:
+    def test_constant_current(self):
+        t = np.linspace(0, 1, 101)
+        i = np.full(101, 2e-6)
+        assert average_power_w(t, i, 0.5) == pytest.approx(1e-6)
+
+    def test_settle_fraction_skips_transient(self):
+        t = np.linspace(0, 1, 1001)
+        i = np.where(t < 0.5, 1.0, 2e-6)  # huge inrush then steady
+        p = average_power_w(t, i, 1.0, settle_fraction=0.6)
+        assert p == pytest.approx(2e-6, rel=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_power_w(np.zeros(5), np.zeros(4), 1.0)

@@ -1,0 +1,93 @@
+"""Tests for butterfly/SNM extraction on synthetic and real VTCs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.snm import butterfly_curves, static_noise_margin
+
+
+def _step_vtc(vin, vdd, v_switch, steepness=200.0):
+    """Smooth inverter-like VTC with controllable sharpness."""
+    arg = np.clip(steepness * (vin - v_switch), -500.0, 500.0)
+    return vdd / (1.0 + np.exp(arg))
+
+
+class TestIdealCurves:
+    def test_ideal_step_snm_approaches_half_vdd(self):
+        vdd = 1.0
+        vin = np.linspace(0, vdd, 801)
+        vtc = _step_vtc(vin, vdd, vdd / 2, steepness=5000.0)
+        snm = static_noise_margin(butterfly_curves(vin, vtc))
+        assert snm == pytest.approx(vdd / 2, abs=0.02)
+
+    def test_unity_gain_curve_zero_snm(self):
+        """VTC = vdd - vin has coincident butterfly curves: SNM = 0."""
+        vin = np.linspace(0, 1, 101)
+        snm = static_noise_margin(butterfly_curves(vin, 1.0 - vin))
+        assert snm == pytest.approx(0.0, abs=1e-6)
+
+    def test_low_gain_small_snm(self):
+        vin = np.linspace(0, 1, 401)
+        sharp = static_noise_margin(butterfly_curves(
+            vin, _step_vtc(vin, 1.0, 0.5, 50.0)))
+        shallow = static_noise_margin(butterfly_curves(
+            vin, _step_vtc(vin, 1.0, 0.5, 6.0)))
+        assert sharp > shallow
+
+    def test_asymmetric_switch_point_reduces_snm(self):
+        vin = np.linspace(0, 1, 401)
+        centered = static_noise_margin(butterfly_curves(
+            vin, _step_vtc(vin, 1.0, 0.5, 100.0)))
+        skewed = static_noise_margin(butterfly_curves(
+            vin, _step_vtc(vin, 1.0, 0.15, 100.0)))
+        assert skewed < centered
+
+    def test_collapsed_eye_zero(self):
+        """A 'VTC' that never crosses the mirrored curve's other lobe
+        (output stuck high) collapses one eye."""
+        vin = np.linspace(0, 1, 201)
+        stuck = np.full_like(vin, 0.9)
+        snm = static_noise_margin(butterfly_curves(vin, stuck))
+        assert snm == pytest.approx(0.0, abs=0.02)
+
+    def test_two_different_inverters(self):
+        """Mismatched forward/backward inverters give the min of the two
+        lobes: strictly less than the symmetric case."""
+        vin = np.linspace(0, 1, 401)
+        f1 = _step_vtc(vin, 1.0, 0.5, 100.0)
+        f2 = _step_vtc(vin, 1.0, 0.28, 100.0)
+        symmetric = static_noise_margin(butterfly_curves(vin, f1))
+        mismatched = static_noise_margin(butterfly_curves(vin, f1, f2))
+        assert mismatched < symmetric
+
+    @given(st.floats(min_value=0.2, max_value=0.8),
+           st.floats(min_value=10.0, max_value=500.0))
+    @settings(max_examples=30)
+    def test_snm_bounded(self, switch, steep):
+        vin = np.linspace(0, 1, 301)
+        snm = static_noise_margin(butterfly_curves(
+            vin, _step_vtc(vin, 1.0, switch, steep)))
+        assert 0.0 <= snm <= 0.5 + 1e-9
+
+
+class TestRealInverter:
+    def test_nominal_inverter_snm_positive(self, nominal_pair, params):
+        from repro.circuit.inverter import inverter_snm
+
+        nt, pt = nominal_pair
+        snm = inverter_snm(nt, pt, 0.4, params)
+        assert 0.03 < snm < 0.2
+
+    def test_snm_grows_with_vdd(self, nominal_pair, params):
+        from repro.circuit.inverter import inverter_snm
+
+        nt, pt = nominal_pair
+        assert (inverter_snm(nt, pt, 0.5, params)
+                > inverter_snm(nt, pt, 0.3, params))
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            butterfly_curves(np.zeros(5), np.zeros(4))

@@ -1,0 +1,129 @@
+"""Tests for the transient integrator against analytic circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import solve_dc
+from repro.circuit.elements import Capacitor, Resistor
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.transient import simulate_transient
+
+
+def _rc_circuit(r=1e3, c=1e-12):
+    circ = Circuit()
+    vin = circ.node("in")
+    out = circ.node("out")
+    circ.fix(vin, 1.0)
+    circ.add(Resistor(vin, out, r))
+    circ.add(Capacitor(out, GROUND, c))
+    return circ, out
+
+
+class TestRCCharging:
+    def test_exponential_charging(self):
+        """V(t) = 1 - exp(-t/RC) within trapezoidal accuracy."""
+        circ, out = _rc_circuit()
+        tau = 1e-9
+        v0 = np.zeros(circ.n_nodes)
+        v0[circ.node("in")] = 1.0
+        res = simulate_transient(circ, 5 * tau, tau / 100, v0)
+        expected = 1.0 - np.exp(-res.time_s / tau)
+        assert np.max(np.abs(res.v(out) - expected)) < 2e-3
+
+    def test_trapezoidal_second_order(self):
+        """Halving dt reduces the error ~4x (second-order accuracy)."""
+        circ, out = _rc_circuit()
+        tau = 1e-9
+        v0 = np.zeros(circ.n_nodes)
+        v0[circ.node("in")] = 1.0
+
+        def max_err(dt):
+            res = simulate_transient(circ, 3 * tau, dt, v0)
+            return np.max(np.abs(res.v(out)
+                                 - (1 - np.exp(-res.time_s / tau))))
+
+        e1 = max_err(tau / 20)
+        e2 = max_err(tau / 40)
+        assert e1 / e2 > 3.0
+
+    def test_ramp_input(self):
+        """A slow ramp through an RC with tau << ramp time tracks the
+        input with lag ~tau."""
+        circ, out = _rc_circuit()
+        tau = 1e-9
+        t_ramp = 20 * tau
+        circ.fixed[circ.node("in")] = lambda t: min(t / t_ramp, 1.0)
+        v0 = np.zeros(circ.n_nodes)
+        res = simulate_transient(circ, t_ramp, tau / 10, v0)
+        i_mid = np.searchsorted(res.time_s, t_ramp / 2)
+        expected = res.time_s[i_mid] / t_ramp - tau / t_ramp
+        assert res.v(out)[i_mid] == pytest.approx(expected, abs=0.01)
+
+    def test_supply_current_trace(self):
+        circ, out = _rc_circuit()
+        v0 = np.zeros(circ.n_nodes)
+        v0[circ.node("in")] = 1.0
+        res = simulate_transient(circ, 5e-9, 0.05e-9, v0,
+                                 monitor_supplies=("in",))
+        i_in = res.supply_currents[circ.node("in")]
+        # Initial inrush ~ V/R, decaying to ~0.
+        assert i_in[0] == pytest.approx(1e-3, rel=0.05)
+        assert abs(i_in[-1]) < 1e-5
+
+    def test_supply_energy_equals_cap_energy_plus_dissipation(self):
+        """Charging a cap through a resistor takes C V^2 from the source
+        (half stored, half dissipated)."""
+        circ, out = _rc_circuit(r=1e3, c=1e-12)
+        v0 = np.zeros(circ.n_nodes)
+        v0[circ.node("in")] = 1.0
+        res = simulate_transient(circ, 12e-9, 0.02e-9, v0,
+                                 monitor_supplies=("in",))
+        energy = res.supply_energy_j("in")
+        assert energy == pytest.approx(1e-12 * 1.0 ** 2, rel=0.02)
+
+
+class TestValidation:
+    def test_rejects_bad_dt(self):
+        circ, _ = _rc_circuit()
+        with pytest.raises(ValueError):
+            simulate_transient(circ, 1e-9, 0.0, np.zeros(circ.n_nodes))
+
+    def test_rejects_bad_v0_shape(self):
+        circ, _ = _rc_circuit()
+        with pytest.raises(ValueError):
+            simulate_transient(circ, 1e-9, 1e-11, np.zeros(7))
+
+    def test_unmonitored_supply_energy_raises(self):
+        circ, _ = _rc_circuit()
+        res = simulate_transient(circ, 1e-10, 1e-11,
+                                 np.zeros(circ.n_nodes))
+        with pytest.raises(KeyError):
+            res.supply_energy_j("in")
+
+
+class TestInverterTransient:
+    def test_output_switches(self, nominal_pair, params):
+        from repro.circuit.inverter import build_inverter_chain
+
+        nt, pt = nominal_pair
+        circ = build_inverter_chain(nt, pt, 0.4, params)
+        vin = circ.node("in")
+        circ.fixed[vin] = 0.0
+        dc = solve_dc(circ)
+        assert dc.voltage("out") > 0.35
+
+        circ.fixed[vin] = lambda t: 0.4 if t > 5e-12 else 0.0
+        res = simulate_transient(circ, 60e-12, 0.25e-12, dc.voltages)
+        assert res.v("out")[-1] < 0.05
+
+    def test_charge_conservation_steady_state(self, nominal_pair, params):
+        """With a constant input, the transient must hold the DC state."""
+        from repro.circuit.inverter import build_inverter_chain
+
+        nt, pt = nominal_pair
+        circ = build_inverter_chain(nt, pt, 0.4, params)
+        circ.fixed[circ.node("in")] = 0.0
+        dc = solve_dc(circ)
+        res = simulate_transient(circ, 20e-12, 0.5e-12, dc.voltages)
+        drift = np.abs(res.voltages[-1] - dc.voltages).max()
+        assert drift < 1e-4

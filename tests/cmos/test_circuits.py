@@ -1,0 +1,57 @@
+"""Tests for CMOS circuit metrics on the shared engine."""
+
+import numpy as np
+import pytest
+
+from repro.cmos.circuits import (
+    cmos_inverter_snm,
+    cmos_inverter_static_power_w,
+    cmos_inverter_vtc,
+    estimate_cmos_ring_oscillator,
+)
+from repro.cmos.ptm import ptm_node
+
+
+@pytest.fixture(scope="module")
+def node22():
+    return ptm_node(22)
+
+
+class TestCMOSInverter:
+    def test_vtc_rail_to_rail(self, node22):
+        vin, vout = cmos_inverter_vtc(node22, 0.8)
+        assert vout[0] > 0.78
+        assert vout[-1] < 0.02
+
+    def test_vtc_monotone(self, node22):
+        _, vout = cmos_inverter_vtc(node22, 0.8)
+        assert np.all(np.diff(vout) <= 1e-9)
+
+    def test_high_gain_transition(self, node22):
+        vin, vout = cmos_inverter_vtc(node22, 0.8)
+        gain = np.abs(np.gradient(vout, vin)).max()
+        assert gain > 5.0
+
+    def test_snm_reasonable_fraction_of_vdd(self, node22):
+        snm = cmos_inverter_snm(node22, 0.8)
+        assert 0.25 < snm / 0.8 < 0.5
+
+    def test_static_power_well_below_dynamic(self, node22):
+        m = estimate_cmos_ring_oscillator(node22, 0.8)
+        assert m.static_power_w < 0.05 * m.dynamic_power_w
+
+
+class TestRingEstimate:
+    def test_monotone_frequency_in_vdd(self, node22):
+        fs = [estimate_cmos_ring_oscillator(node22, v).frequency_hz
+              for v in (0.4, 0.6, 0.8)]
+        assert fs[0] < fs[1] < fs[2]
+
+    def test_raises_below_threshold_supply(self, node22):
+        from repro.errors import AnalysisError
+
+        # At 50 mV there is effectively no drive; subthreshold current
+        # exists, so it should still return, just slowly - verify no
+        # exception and tiny frequency instead.
+        m = estimate_cmos_ring_oscillator(node22, 0.05)
+        assert m.frequency_hz < 1e8

@@ -1,0 +1,91 @@
+"""Tests for the alpha-power-law compact MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cmos.mosfet import AlphaPowerMOSFET
+
+
+@pytest.fixture(scope="module")
+def device():
+    return AlphaPowerMOSFET(
+        vt_v=0.3, b_a_per_valpha=1e-3, alpha=1.3, vdsat_coeff=0.9,
+        channel_length_modulation=0.15, i0_a=1e-7,
+        subthreshold_ideality=1.5, cgs_f=1e-15, cgd_f=0.5e-15)
+
+
+class TestRegions:
+    def test_off_state_subthreshold(self, device):
+        i, _, _ = device.ids(0.0, 0.8)
+        # 0.3 V below threshold at SS = 90 mV/dec: ~1e-7 * 10^-3.33.
+        assert 1e-12 < i < 1e-9
+
+    def test_subthreshold_slope(self, device):
+        i1, _, _ = device.ids(0.10, 0.8)
+        i2, _, _ = device.ids(0.19, 0.8)
+        decades = np.log10(i2 / i1)
+        ss_mv = 90.0 / decades
+        assert ss_mv == pytest.approx(90.0, rel=0.05)  # n * 60 mV/dec
+
+    def test_saturation_current_alpha_law(self, device):
+        i1, _, _ = device.ids(0.8, 0.8)
+        i2, _, _ = device.ids(1.3, 1.3)
+        expected = ((1.3 - 0.3) / (0.8 - 0.3)) ** 1.3
+        assert i2 / i1 == pytest.approx(expected, rel=0.05)
+
+    def test_triode_linear_at_small_vds(self, device):
+        i1, _, _ = device.ids(0.8, 0.01)
+        i2, _, _ = device.ids(0.8, 0.02)
+        assert i2 / i1 == pytest.approx(2.0, rel=0.05)
+
+    def test_continuous_at_vdsat(self, device):
+        vov = 0.5
+        vdsat = 0.9 * vov ** 0.65
+        i_lo, _, _ = device.ids(0.8, vdsat - 1e-9)
+        i_hi, _, _ = device.ids(0.8, vdsat + 1e-9)
+        assert i_lo == pytest.approx(i_hi, rel=1e-6)
+
+    def test_channel_length_modulation(self, device):
+        i1, _, _ = device.ids(0.8, 0.6)
+        i2, _, _ = device.ids(0.8, 1.0)
+        assert i2 > i1
+
+
+class TestDerivatives:
+    @given(st.floats(min_value=0.0, max_value=1.2),
+           st.floats(min_value=0.005, max_value=1.2))
+    @settings(max_examples=40)
+    def test_derivatives_match_finite_differences(self, vgs, vds):
+        device = AlphaPowerMOSFET(
+            vt_v=0.3, b_a_per_valpha=1e-3, alpha=1.3, vdsat_coeff=0.9,
+            channel_length_modulation=0.15, i0_a=1e-7,
+            subthreshold_ideality=1.5, cgs_f=1e-15, cgd_f=0.5e-15)
+        vdsat = 0.9 * max(vgs - 0.3, 0.0) ** 0.65
+        if abs(vds - vdsat) < 1e-3 or abs(vgs - 0.3) < 1e-3:
+            return  # skip the (intentional) kink neighbourhoods
+        h = 1e-6
+        _, dg, dd = device.ids(vgs, vds)
+        ip, _, _ = device.ids(vgs + h, vds)
+        im, _, _ = device.ids(vgs - h, vds)
+        assert dg == pytest.approx((ip - im) / (2 * h), rel=1e-3, abs=1e-12)
+        ip, _, _ = device.ids(vgs, vds + h)
+        im, _, _ = device.ids(vgs, vds - h)
+        assert dd == pytest.approx((ip - im) / (2 * h), rel=1e-3, abs=1e-12)
+
+
+class TestNegativeVds:
+    def test_antisymmetry(self, device):
+        i_neg, _, _ = device.ids(0.5, -0.3)
+        i_mirror, _, _ = device.ids(0.8, 0.3)
+        assert i_neg == pytest.approx(-i_mirror, rel=1e-12)
+
+    def test_zero_vds_zero_current(self, device):
+        i, _, _ = device.ids(0.8, 0.0)
+        assert i == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCapacitances:
+    def test_constant(self, device):
+        assert device.capacitances(0.1, 0.1) == (1e-15, 0.5e-15)
+        assert device.capacitances(0.9, 0.9) == (1e-15, 0.5e-15)

@@ -1,0 +1,95 @@
+"""Tests for the calibrated PTM node parameters (Table 1 CMOS columns)."""
+
+import pytest
+
+from repro.cmos.circuits import (
+    cmos_inverter_snm,
+    cmos_inverter_static_power_w,
+    estimate_cmos_ring_oscillator,
+)
+from repro.cmos.ptm import PTM_NODES, ptm_node
+from repro.device.calibration import PAPER_TABLE1_CMOS
+
+
+class TestNodeLookup:
+    def test_all_paper_nodes_present(self):
+        assert set(PTM_NODES) == {22, 32, 45}
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            ptm_node(65)
+
+    def test_pmos_weaker_than_nmos(self):
+        for node in PTM_NODES.values():
+            assert (node.pmos.b_a_per_valpha
+                    < node.nmos.b_a_per_valpha)
+
+
+class TestTable1Calibration:
+    """Every CMOS cell of the paper's Table 1 within 25% (frequency) and
+    30% (EDP); SNM within 0.06 V."""
+
+    @pytest.mark.parametrize("node_nm", [22, 32, 45])
+    @pytest.mark.parametrize("vdd", [0.8, 0.6, 0.4])
+    def test_frequency(self, node_nm, vdd):
+        target, _, _ = PAPER_TABLE1_CMOS[node_nm][vdd]
+        m = estimate_cmos_ring_oscillator(ptm_node(node_nm), vdd)
+        assert m.frequency_hz / 1e9 == pytest.approx(target, rel=0.25)
+
+    @pytest.mark.parametrize("node_nm", [22, 32, 45])
+    @pytest.mark.parametrize("vdd", [0.8, 0.6, 0.4])
+    def test_edp(self, node_nm, vdd):
+        _, target, _ = PAPER_TABLE1_CMOS[node_nm][vdd]
+        m = estimate_cmos_ring_oscillator(ptm_node(node_nm), vdd)
+        assert m.edp_j_s * 1e27 == pytest.approx(target, rel=0.30)
+
+    @pytest.mark.parametrize("node_nm", [22, 32, 45])
+    @pytest.mark.parametrize("vdd", [0.8, 0.6, 0.4])
+    def test_snm(self, node_nm, vdd):
+        _, _, target = PAPER_TABLE1_CMOS[node_nm][vdd]
+        snm = cmos_inverter_snm(ptm_node(node_nm), vdd)
+        assert snm == pytest.approx(target, abs=0.06)
+
+
+class TestPaperOrderings:
+    def test_smaller_node_faster(self):
+        f = {n: estimate_cmos_ring_oscillator(ptm_node(n), 0.8).frequency_hz
+             for n in (22, 32, 45)}
+        assert f[22] > f[32] > f[45]
+
+    def test_smaller_node_lower_edp(self):
+        e = {n: estimate_cmos_ring_oscillator(ptm_node(n), 0.6).edp_j_s
+             for n in (22, 32, 45)}
+        assert e[22] < e[32] < e[45]
+
+    def test_edp_optimum_at_0p6(self):
+        """Paper: "V_DD = 0.6V has the optimum value of EDP" per node."""
+        for n in (22, 32, 45):
+            edps = {v: estimate_cmos_ring_oscillator(ptm_node(n), v).edp_j_s
+                    for v in (0.8, 0.6, 0.4)}
+            assert edps[0.6] == min(edps.values())
+
+    def test_best_performance_at_0p8(self):
+        """"V_DD = 0.8V provides the best performance"."""
+        for n in (22, 32, 45):
+            fs = {v: estimate_cmos_ring_oscillator(
+                ptm_node(n), v).frequency_hz for v in (0.8, 0.6, 0.4)}
+            assert fs[0.8] == max(fs.values())
+
+    def test_least_power_at_0p4(self):
+        """"V_DD = 0.4V consumes the least power"."""
+        for n in (22, 32, 45):
+            ps = {v: estimate_cmos_ring_oscillator(
+                ptm_node(n), v).total_power_w for v in (0.8, 0.6, 0.4)}
+            assert ps[0.4] == min(ps.values())
+
+
+class TestLeakage:
+    def test_static_power_positive(self):
+        for n in (22, 32, 45):
+            assert cmos_inverter_static_power_w(ptm_node(n), 0.8) > 0.0
+
+    def test_leakage_grows_toward_smaller_nodes(self):
+        p = {n: cmos_inverter_static_power_w(ptm_node(n), 0.8)
+             for n in (22, 32, 45)}
+        assert p[22] > p[45]

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Device tables are expensive (seconds each), so everything circuit-level
+shares session-scoped fixtures; the in-process device-table cache keyed
+by geometry means variant tables built by one test are reused by others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.inverter import CircuitParameters
+from repro.device.geometry import GNRFETGeometry
+from repro.device.tables import DeviceTable, build_device_table
+from repro.exploration.technology import GNRFETTechnology
+
+
+@pytest.fixture(scope="session")
+def nominal_geometry() -> GNRFETGeometry:
+    return GNRFETGeometry()
+
+
+@pytest.fixture(scope="session")
+def nominal_table(nominal_geometry) -> DeviceTable:
+    """Full-resolution nominal per-ribbon table (built once per session)."""
+    return build_device_table(nominal_geometry)
+
+
+@pytest.fixture(scope="session")
+def tech() -> GNRFETTechnology:
+    """Nominal technology bundle (shares the cached nominal table)."""
+    return GNRFETTechnology.build()
+
+
+@pytest.fixture(scope="session")
+def nominal_pair(tech):
+    """(n, p) array tables at the paper's nominal operating point."""
+    return tech.inverter_tables(0.13)
+
+
+@pytest.fixture(scope="session")
+def params() -> CircuitParameters:
+    return CircuitParameters()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20080613)  # DAC 2008 dates

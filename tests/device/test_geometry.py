@@ -1,0 +1,87 @@
+"""Tests for device specifications."""
+
+import pytest
+
+from repro.device.geometry import ChargeImpurity, GNRFETGeometry
+from repro.errors import InvalidDeviceError
+
+
+class TestChargeImpurity:
+    def test_mirror_flips_charge(self):
+        imp = ChargeImpurity(charge_e=-2.0, position_nm=1.5, height_nm=0.4)
+        mirrored = imp.mirrored()
+        assert mirrored.charge_e == 2.0
+        assert mirrored.position_nm == 1.5
+        assert mirrored.height_nm == 0.4
+
+    def test_paper_default_placement(self):
+        """Impurity near the source, 0.4 nm from the GNR surface."""
+        imp = ChargeImpurity(charge_e=1.0)
+        assert imp.height_nm == pytest.approx(0.4)
+        assert imp.position_nm < 2.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidDeviceError):
+            ChargeImpurity(charge_e=1.0, height_nm=0.0)
+        with pytest.raises(InvalidDeviceError):
+            ChargeImpurity(charge_e=1.0, position_nm=-1.0)
+
+
+class TestGNRFETGeometry:
+    def test_paper_defaults(self):
+        g = GNRFETGeometry()
+        assert g.n_index == 12
+        assert g.channel_length_nm == 15.0
+        assert g.oxide_thickness_nm == 1.5
+        assert g.eps_ox == pytest.approx(3.9)
+
+    def test_schottky_barrier_is_half_gap(self):
+        """Phi_Bn = Phi_Bp = E_g / 2 (paper Section 2)."""
+        g = GNRFETGeometry(n_index=12)
+        assert g.schottky_barrier_ev == pytest.approx(
+            g.band_gap_ev / 2.0, abs=1e-12)
+
+    def test_width_follows_index(self):
+        assert (GNRFETGeometry(n_index=18).width_nm
+                > GNRFETGeometry(n_index=9).width_nm)
+
+    def test_gate_separation(self):
+        g = GNRFETGeometry()
+        assert g.gate_separation_nm == pytest.approx(3.35, abs=0.01)
+
+    def test_insulator_capacitance_scale(self):
+        """Double-gate SiO2 at 1.5 nm on a ~1.4+1.5 nm effective width:
+        several 1e-20 F/nm."""
+        c = GNRFETGeometry(n_index=12).insulator_capacitance_f_per_nm
+        assert 5e-20 < c < 2e-19
+
+    def test_natural_length_near_textbook(self):
+        g = GNRFETGeometry()
+        assert g.natural_length_nm == pytest.approx(
+            g.natural_length_theoretical_nm(), rel=0.6)
+
+    def test_with_helpers_produce_new_objects(self):
+        g = GNRFETGeometry()
+        g9 = g.with_index(9)
+        assert g9.n_index == 9 and g.n_index == 12
+        imp = ChargeImpurity(charge_e=1.0)
+        gi = g.with_impurity(imp)
+        assert gi.impurity is imp and g.impurity is None
+
+    def test_validation(self):
+        with pytest.raises(InvalidDeviceError):
+            GNRFETGeometry(channel_length_nm=0.0)
+        with pytest.raises(InvalidDeviceError):
+            GNRFETGeometry(gate_coupling=1.5)
+        with pytest.raises(InvalidDeviceError):
+            GNRFETGeometry(drain_coupling=-0.1)
+        with pytest.raises(InvalidDeviceError):
+            GNRFETGeometry(natural_length_nm=0.0)
+        with pytest.raises(InvalidDeviceError):
+            GNRFETGeometry(n_index=1)
+
+    def test_hashable_for_table_cache(self):
+        a = GNRFETGeometry()
+        b = GNRFETGeometry()
+        assert hash(a) == hash(b)
+        assert a == b

@@ -1,0 +1,55 @@
+"""Tests for linear-extrapolation V_T extraction."""
+
+import numpy as np
+import pytest
+
+from repro.device.vt_extraction import extract_vt_linear
+from repro.errors import AnalysisError
+
+
+def _alpha_law(vg, vt, slope=1e-6):
+    """Synthetic above-threshold linear device."""
+    return np.clip(vg - vt, 0.0, None) * slope
+
+
+class TestExtraction:
+    def test_recovers_linear_threshold(self):
+        vg = np.linspace(0.0, 1.0, 101)
+        ids = _alpha_law(vg, vt=0.35)
+        assert extract_vt_linear(vg, ids) == pytest.approx(0.35, abs=0.01)
+
+    def test_vd_correction(self):
+        vg = np.linspace(0.0, 1.0, 101)
+        ids = _alpha_law(vg, vt=0.35)
+        assert extract_vt_linear(vg, ids, vd=0.1) == pytest.approx(
+            0.30, abs=0.01)
+
+    def test_ambipolar_curve_uses_electron_branch(self):
+        """A V-shaped ambipolar curve must extrapolate the right-hand
+        (electron) branch, not the hole branch."""
+        vg = np.linspace(0.0, 1.0, 201)
+        electron = _alpha_law(vg, 0.4)
+        hole = _alpha_law(0.8 - vg, 0.2)  # rises toward low vg
+        ids = electron + hole + 1e-12
+        vt = extract_vt_linear(vg, ids)
+        assert vt == pytest.approx(0.4, abs=0.03)
+
+    def test_hole_branch_option(self):
+        vg = np.linspace(-1.0, 0.0, 101)
+        ids = _alpha_law(-vg, vt=0.3)  # p-type turn-on toward negative vg
+        vt = extract_vt_linear(vg, ids, branch="hole")
+        assert vt == pytest.approx(0.3, abs=0.02)
+
+    def test_rejects_flat_curve(self):
+        vg = np.linspace(0, 1, 50)
+        with pytest.raises(AnalysisError):
+            extract_vt_linear(vg, np.full(50, 1e-9) - np.linspace(0, 1e-10, 50))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            extract_vt_linear(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            extract_vt_linear(np.zeros(10), np.zeros(9))
+        with pytest.raises(ValueError):
+            extract_vt_linear(np.linspace(0, 1, 10), np.zeros(10),
+                              branch="sideways")

@@ -1,0 +1,60 @@
+"""Tests for the Table 1 comparison (estimate path for speed)."""
+
+import pytest
+
+from repro.exploration.compare_cmos import cmos_row, gnrfet_row, table1_comparison
+
+
+class TestRows:
+    def test_cmos_row_fields(self):
+        row = cmos_row(22, 0.8)
+        assert row.label == "22nm@0.8V"
+        assert row.frequency_ghz > 0
+        assert row.edp_fj_ps > 0
+        assert 0 < row.snm_v < 0.4
+
+    def test_gnrfet_row_estimate(self, tech):
+        row = gnrfet_row(tech, "B", 0.13, 0.4, transient=False)
+        assert 1.0 < row.frequency_ghz < 8.0
+        assert row.edp_fj_ps > 0
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self, tech):
+        points = {"A": (0.06, 0.3), "B": (0.13, 0.4), "C": (0.23, 0.4)}
+        return table1_comparison(tech, points, transient=False)
+
+    def test_row_counts(self, table):
+        gnr, cmos, _, _ = table
+        assert len(gnr) == 3
+        assert len(cmos) == 9
+
+    def test_gnrfet_wins_edp_by_large_factor(self, table):
+        """The paper's headline: scaled-CMOS EDP is 40-168x the GNRFET
+        point-B EDP.  We require >= 20x everywhere and the whole range
+        within [20, 1000] (shape contract: GNRFETs win by orders of
+        magnitude)."""
+        _, _, r_min, r_max = table
+        assert r_min > 20.0
+        assert r_max < 1000.0
+
+    def test_point_c_slower_than_b(self, table):
+        """"the frequency of the ring oscillator for operating point B is
+        40% greater than that for operating point C"."""
+        gnr, _, _, _ = table
+        by_label = {r.label: r for r in gnr}
+        ratio = by_label["B"].frequency_ghz / by_label["C"].frequency_ghz
+        assert 1.2 < ratio < 2.2
+
+    def test_cmos_snm_higher_than_gnrfet(self, table):
+        """GNRFETs have lower noise margins than scaled CMOS."""
+        gnr, cmos, _, _ = table
+        assert max(r.snm_v for r in gnr) < min(r.snm_v for r in cmos)
+
+    def test_gnrfet_competitive_frequency(self, table):
+        """At comparable operating points the GNRFET ring is in the same
+        GHz class as the CMOS nodes."""
+        gnr, cmos, _, _ = table
+        f_b = next(r for r in gnr if r.label == "B").frequency_ghz
+        assert 1.0 < f_b < 10.0

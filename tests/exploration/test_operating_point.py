@@ -1,0 +1,96 @@
+"""Tests for operating-point selection logic on synthetic grids."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.exploration.operating_point import (
+    matched_edp_snm_higher_vt,
+    min_edp_at_frequency,
+    min_edp_at_frequency_and_snm,
+    min_edp_point,
+)
+from repro.exploration.sweep import ExplorationGrid
+
+
+def _synthetic_grid():
+    """Analytic landscape with a known optimum structure."""
+    vt = np.linspace(0.05, 0.3, 11)
+    vdd = np.linspace(0.1, 0.7, 13)
+    vtg, vddg = np.meshgrid(vt, vdd, indexing="ij")
+    freq = 1e9 * 20 * (vddg - vtg).clip(0.01) ** 1.5
+    # EDP bowl with minimum at (0.15, 0.3).
+    edp = 1e-27 * (1 + 50 * (vtg - 0.15) ** 2 + 20 * (vddg - 0.3) ** 2)
+    snm = 0.4 * vddg * (0.5 + vtg)
+    power = 1e-6 * vddg ** 2
+    return ExplorationGrid(vt=vt, vdd=vdd, frequency_hz=freq,
+                           edp_j_s=edp, snm_v=snm,
+                           total_power_w=power, static_power_w=power / 10)
+
+
+class TestMinEDP:
+    def test_finds_bowl_minimum(self):
+        grid = _synthetic_grid()
+        p = min_edp_point(grid)
+        assert p.vt == pytest.approx(0.15, abs=0.02)
+        assert p.vdd == pytest.approx(0.3, abs=0.05)
+
+    def test_nan_grid_raises(self):
+        grid = _synthetic_grid()
+        grid.edp_j_s[:] = np.nan
+        with pytest.raises(AnalysisError):
+            min_edp_point(grid)
+
+
+class TestPointA:
+    def test_frequency_floor_respected(self):
+        grid = _synthetic_grid()
+        p = min_edp_at_frequency(grid, 3e9)
+        assert p.frequency_hz >= 3e9
+
+    def test_tighter_floor_higher_edp(self):
+        grid = _synthetic_grid()
+        loose = min_edp_at_frequency(grid, 1e9)
+        tight = min_edp_at_frequency(grid, 4e9)
+        assert tight.edp_j_s >= loose.edp_j_s
+
+    def test_unreachable_frequency_raises(self):
+        grid = _synthetic_grid()
+        with pytest.raises(AnalysisError):
+            min_edp_at_frequency(grid, 1e15)
+
+
+class TestPointB:
+    def test_both_floors_respected(self):
+        grid = _synthetic_grid()
+        p = min_edp_at_frequency_and_snm(grid, 2e9, 0.1)
+        assert p.frequency_hz >= 2e9
+        assert p.snm_v >= 0.1
+
+    def test_b_never_cheaper_than_a(self):
+        grid = _synthetic_grid()
+        a = min_edp_at_frequency(grid, 2e9)
+        b = min_edp_at_frequency_and_snm(grid, 2e9, 0.1)
+        assert b.edp_j_s >= a.edp_j_s - 1e-40
+
+    def test_unreachable_snm_raises(self):
+        grid = _synthetic_grid()
+        with pytest.raises(AnalysisError):
+            min_edp_at_frequency_and_snm(grid, 1e9, 10.0)
+
+
+class TestPointC:
+    def test_higher_vt_matched_metrics(self):
+        grid = _synthetic_grid()
+        b = min_edp_at_frequency_and_snm(grid, 2e9, 0.08)
+        c = matched_edp_snm_higher_vt(grid, b, edp_tolerance=0.5,
+                                      snm_tolerance=0.5)
+        assert c.vt > b.vt
+        assert c.edp_j_s == pytest.approx(b.edp_j_s, rel=0.5)
+
+    def test_no_match_raises(self):
+        grid = _synthetic_grid()
+        b = min_edp_at_frequency_and_snm(grid, 2e9, 0.08)
+        with pytest.raises(AnalysisError):
+            matched_edp_snm_higher_vt(grid, b, edp_tolerance=1e-9,
+                                      snm_tolerance=1e-9)

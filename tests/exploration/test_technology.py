@@ -1,0 +1,45 @@
+"""Tests for the GNRFETTechnology bundle."""
+
+import pytest
+
+from repro.exploration.technology import GNRFETTechnology
+
+
+class TestTechnology:
+    def test_vt0_near_paper(self, tech):
+        assert tech.vt0 == pytest.approx(0.30, abs=0.05)
+
+    def test_offset_semantics(self, tech):
+        """offset = vt0 - vt: asking for a lower V_T means a larger
+        positive work-function offset (curve shifts left)."""
+        assert tech.gate_offset_for_vt(0.13) == pytest.approx(
+            tech.vt0 - 0.13)
+        assert tech.gate_offset_for_vt(0.1) > tech.gate_offset_for_vt(0.2)
+
+    def test_array_table_scales_current(self, tech):
+        single = tech.ribbon_table
+        array = tech.array_table(tech.vt0)  # zero offset
+        assert array.current(0.5, 0.5) == pytest.approx(
+            tech.params.n_ribbons * single.current(0.5, 0.5), rel=1e-9)
+
+    def test_requested_vt_is_realized(self, tech):
+        """Extracting V_T from the offset table recovers the request."""
+        import numpy as np
+        from repro.device.vt_extraction import extract_vt_linear
+
+        target = 0.15
+        table = tech.array_table(target)
+        vgs = np.linspace(0.0, 0.8, 33)
+        ids = np.array([table.current(float(v), 0.05) for v in vgs])
+        assert extract_vt_linear(vgs, ids, vd=0.05) == pytest.approx(
+            target, abs=0.04)
+
+    def test_inverter_tables_symmetric(self, tech):
+        nt, pt = tech.inverter_tables(0.13)
+        assert nt is pt  # ambipolar symmetric device
+
+    def test_build_uses_cache(self, tech):
+        """A second build with the same geometry reuses the cached
+        device table (identity, not just equality)."""
+        again = GNRFETTechnology.build(tech.geometry, tech.params)
+        assert again.ribbon_table is tech.ribbon_table

@@ -1,0 +1,42 @@
+"""Tests for the temperature study."""
+
+import pytest
+
+from repro.exploration.temperature import (
+    leakage_activation_energy_ev,
+    temperature_study,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    # Two temperatures keep the test affordable; the extension bench
+    # runs the full sweep.
+    return temperature_study(temperatures_k=(300.0, 400.0))
+
+
+class TestTemperatureStudy:
+    def test_leakage_grows_with_temperature(self, points):
+        assert points[1].i_min_a > 2.0 * points[0].i_min_a
+
+    def test_static_power_grows_with_temperature(self, points):
+        assert (points[1].inverter_static_power_w
+                > points[0].inverter_static_power_w)
+
+    def test_on_current_mildly_affected(self, points):
+        """The on-state is tunneling-dominated: far weaker T dependence
+        than the activated leakage floor."""
+        on_ratio = points[1].i_on_a / points[0].i_on_a
+        leak_ratio = points[1].i_min_a / points[0].i_min_a
+        assert on_ratio < 0.5 * leak_ratio
+        assert 0.5 < on_ratio < 2.0
+
+    def test_activation_energy_fraction_of_half_gap(self, points):
+        """Arrhenius slope of the leakage floor: a sizeable fraction of
+        the N=12 half-gap (0.3 eV), reduced by tunneling."""
+        e_a = leakage_activation_energy_ev(points)
+        assert 0.03 < e_a < 0.4
+
+    def test_needs_two_points(self, points):
+        with pytest.raises(ValueError):
+            leakage_activation_energy_ev(points[:1])

@@ -1,0 +1,65 @@
+"""Tests for spectral-function charge integration."""
+
+import numpy as np
+import pytest
+
+from repro.negf.charge import carrier_density_from_spectral, spectral_diagonal
+
+
+class TestSpectralDiagonal:
+    def test_positive_semidefinite_diagonal(self):
+        rng = np.random.default_rng(2)
+        col = rng.normal(size=(4, 2)) + 1j * rng.normal(size=(4, 2))
+        gamma = np.diag([0.5, 1.5])
+        diag = spectral_diagonal(col, gamma)
+        assert np.all(diag >= 0.0)
+
+    def test_known_value(self):
+        col = np.array([[1.0 + 0j], [2.0j]])
+        gamma = np.array([[2.0]])
+        diag = spectral_diagonal(col, gamma)
+        assert diag[0] == pytest.approx(2.0)
+        assert diag[1] == pytest.approx(8.0)
+
+
+class TestCarrierDensity:
+    def test_full_band_occupation(self):
+        """A flat spectral function fully below both chemical potentials
+        integrates to (2/2pi) * total spectral weight."""
+        e = np.linspace(-1.0, -0.5, 101)
+        a = np.ones((e.size, 3))
+        n = carrier_density_from_spectral(e, a, np.zeros_like(a), 5.0, 5.0)
+        expected = 2.0 / (2 * np.pi) * 0.5  # weight=1 over window 0.5
+        assert np.allclose(n, expected, rtol=1e-3)
+
+    def test_empty_band(self):
+        e = np.linspace(1.0, 1.5, 51)
+        a = np.ones((e.size, 2))
+        n = carrier_density_from_spectral(e, a, a, -5.0, -5.0)
+        assert np.all(n < 1e-10)
+
+    def test_hole_electron_complementarity(self):
+        """n (electron weighting) + p (hole weighting) equals the total
+        spectral weight, independent of the chemical potentials."""
+        rng = np.random.default_rng(0)
+        e = np.linspace(-1, 1, 301)
+        a_s = rng.uniform(0, 1, size=(e.size, 4))
+        a_d = rng.uniform(0, 1, size=(e.size, 4))
+        n = carrier_density_from_spectral(e, a_s, a_d, 0.2, -0.3,
+                                          occupation="electron")
+        p = carrier_density_from_spectral(e, a_s, a_d, 0.2, -0.3,
+                                          occupation="hole")
+        total = 2.0 / (2 * np.pi) * np.trapezoid(a_s + a_d, e, axis=0)
+        assert np.allclose(n + p, total, rtol=1e-12)
+
+    def test_rejects_unknown_occupation(self):
+        e = np.linspace(-1, 1, 11)
+        a = np.ones((11, 1))
+        with pytest.raises(ValueError):
+            carrier_density_from_spectral(e, a, a, 0, 0, occupation="both")
+
+    def test_rejects_shape_mismatch(self):
+        e = np.linspace(-1, 1, 11)
+        with pytest.raises(ValueError):
+            carrier_density_from_spectral(e, np.ones((10, 2)),
+                                          np.ones((10, 2)), 0, 0)

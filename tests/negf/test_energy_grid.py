@@ -1,0 +1,72 @@
+"""Tests for energy-grid construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.negf.energy_grid import adaptive_energy_grid, uniform_energy_grid
+
+
+class TestUniform:
+    def test_includes_endpoints(self):
+        g = uniform_energy_grid(-1.0, 1.0, 0.1)
+        assert g[0] == -1.0 and g[-1] == 1.0
+
+    def test_spacing_bound(self):
+        g = uniform_energy_grid(0.0, 1.0, 0.3)
+        assert np.max(np.diff(g)) <= 0.3 + 1e-12
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            uniform_energy_grid(1.0, 1.0, 0.1)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            uniform_energy_grid(0.0, 1.0, 0.0)
+
+
+class TestAdaptive:
+    def test_sorted_unique(self):
+        g = adaptive_energy_grid(-1, 1, [0.0, 0.5])
+        assert np.all(np.diff(g) > 0.0)
+
+    def test_finer_near_features(self):
+        g = adaptive_energy_grid(-1, 1, [0.0], coarse_step_ev=0.05,
+                                 fine_step_ev=0.002,
+                                 feature_halfwidth_ev=0.1)
+        near = g[np.abs(g) < 0.08]
+        far = g[np.abs(g) > 0.5]
+        assert np.max(np.diff(near)) < 0.003
+        assert np.max(np.diff(far)) > 0.01
+
+    def test_features_outside_window_ignored(self):
+        g_with = adaptive_energy_grid(-1, 1, [5.0])
+        g_without = adaptive_energy_grid(-1, 1, [])
+        assert np.array_equal(g_with, g_without)
+
+    def test_rejects_inverted_steps(self):
+        with pytest.raises(ValueError):
+            adaptive_energy_grid(-1, 1, [], coarse_step_ev=0.001,
+                                 fine_step_ev=0.01)
+
+    @given(st.lists(st.floats(min_value=-0.9, max_value=0.9),
+                    min_size=0, max_size=5))
+    @settings(max_examples=25)
+    def test_covers_window_for_any_features(self, features):
+        g = adaptive_energy_grid(-1, 1, features)
+        assert g[0] == pytest.approx(-1.0)
+        assert g[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(g) > 0.0)
+
+    def test_integral_of_smooth_function_accurate(self):
+        """The adaptive grid must integrate a Fermi-edge-like integrand
+        accurately when the feature is flagged."""
+        mu = 0.123
+        g = adaptive_energy_grid(-1, 1, [mu], coarse_step_ev=0.05,
+                                 fine_step_ev=0.001)
+        f = 1.0 / (1.0 + np.exp((g - mu) / 0.0259))
+        val = np.trapezoid(f, g)
+        ref_grid = np.linspace(-1, 1, 200001)
+        ref = np.trapezoid(1.0 / (1.0 + np.exp((ref_grid - mu) / 0.0259)),
+                           ref_grid)
+        assert val == pytest.approx(ref, rel=1e-4)

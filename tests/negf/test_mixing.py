@@ -1,0 +1,99 @@
+"""Tests for SCF mixing schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.negf.mixing import AndersonMixer, LinearMixer
+
+
+def _fixed_point_iterate(mixer, g, x0, n_iter=200, tol=1e-10):
+    """Drive x -> g(x) to its fixed point with the given mixer."""
+    x = np.asarray(x0, dtype=float)
+    for i in range(n_iter):
+        fx = g(x)
+        if np.max(np.abs(fx - x)) < tol:
+            return x, i
+        x = mixer.update(x, fx)
+    return x, n_iter
+
+
+class TestLinearMixer:
+    def test_validates_beta(self):
+        with pytest.raises(ValueError):
+            LinearMixer(beta=0.0)
+        with pytest.raises(ValueError):
+            LinearMixer(beta=1.5)
+
+    def test_full_mixing_is_identityless(self):
+        m = LinearMixer(beta=1.0)
+        x = np.array([1.0, 2.0])
+        f = np.array([3.0, 0.0])
+        assert np.allclose(m.update(x, f), f)
+
+    def test_converges_contraction(self):
+        m = LinearMixer(beta=0.5)
+        x, iters = _fixed_point_iterate(
+            m, lambda x: 0.5 * x + 1.0, np.zeros(3))
+        assert np.allclose(x, 2.0, atol=1e-8)
+
+    def test_stabilizes_divergent_map(self):
+        """g(x) = -1.5 x + 5 diverges under plain iteration (|slope|>1)
+        but converges with beta = 0.3."""
+        m = LinearMixer(beta=0.3)
+        x, iters = _fixed_point_iterate(m, lambda x: -1.5 * x + 5.0,
+                                        np.zeros(1), n_iter=500)
+        assert np.allclose(x, 2.0, atol=1e-6)
+
+
+class TestAndersonMixer:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AndersonMixer(beta=0.0)
+        with pytest.raises(ValueError):
+            AndersonMixer(history=0)
+
+    def test_linear_map_solved_fast(self):
+        """Anderson acceleration solves an n-dimensional affine map in
+        ~n+1 iterations (exact for linear problems)."""
+        rng = np.random.default_rng(0)
+        a = 0.6 * rng.normal(size=(4, 4)) / 4
+        b = rng.normal(size=4)
+        m = AndersonMixer(beta=0.5, history=6)
+        x, iters = _fixed_point_iterate(m, lambda x: a @ x + b,
+                                        np.zeros(4), tol=1e-11)
+        expected = np.linalg.solve(np.eye(4) - a, b)
+        assert np.allclose(x, expected, atol=1e-8)
+        assert iters < 20
+
+    def test_faster_than_linear_on_stiff_map(self):
+        rng = np.random.default_rng(1)
+        a = np.diag([0.95, -0.9, 0.5, 0.1])
+        b = np.ones(4)
+
+        lin_x, lin_iters = _fixed_point_iterate(
+            LinearMixer(beta=0.3), lambda x: a @ x + b, np.zeros(4))
+        and_x, and_iters = _fixed_point_iterate(
+            AndersonMixer(beta=0.3, history=5), lambda x: a @ x + b,
+            np.zeros(4))
+        assert and_iters < lin_iters
+
+    def test_reset_clears_history(self):
+        m = AndersonMixer()
+        m.update(np.zeros(2), np.ones(2))
+        m.update(np.ones(2), np.ones(2) * 1.5)
+        m.reset()
+        assert m._xs == [] and m._fs == []
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_nonlinear_scalar_maps_converge(self, seed):
+        rng = np.random.default_rng(seed)
+        c = rng.uniform(0.5, 3.0)
+        m = AndersonMixer(beta=0.4, history=4)
+        # x = c * tanh(x) + 1 has a unique attracting fixed point.
+        x, iters = _fixed_point_iterate(
+            m, lambda x: np.tanh(x) * 0.8 + c * 0.1, np.zeros(1),
+            n_iter=300)
+        residual = np.abs(np.tanh(x) * 0.8 + c * 0.1 - x)
+        assert residual.max() < 1e-8

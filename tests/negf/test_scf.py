@@ -1,0 +1,97 @@
+"""Tests for the generic self-consistent loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.negf.mixing import AndersonMixer, LinearMixer
+from repro.negf.scf import SCFOptions, self_consistent_loop
+
+
+def _linear_problem(alpha):
+    """Toy coupled problem with closed-form fixed point.
+
+    charge = -alpha * potential;  potential = u0 + charge
+    => u* = u0 / (1 + alpha)
+    """
+    u0 = np.array([1.0, 2.0, 3.0])
+
+    def solve_charge(u):
+        return -alpha * u
+
+    def solve_potential(rho):
+        return u0 + rho
+
+    return solve_charge, solve_potential, u0 / (1.0 + alpha)
+
+
+class TestSCFLoop:
+    def test_converges_to_fixed_point(self):
+        sc, sp, expected = _linear_problem(0.5)
+        result = self_consistent_loop(sc, sp, np.zeros(3),
+                                      SCFOptions(tolerance_ev=1e-8))
+        assert result.converged
+        assert np.allclose(result.potential, expected, atol=1e-6)
+
+    def test_strong_coupling_needs_damping(self):
+        """alpha = 3 diverges under plain iteration; the default
+        Anderson mixer must still converge."""
+        sc, sp, expected = _linear_problem(3.0)
+        result = self_consistent_loop(sc, sp, np.zeros(3),
+                                      SCFOptions(tolerance_ev=1e-8))
+        assert result.converged
+        assert np.allclose(result.potential, expected, atol=1e-5)
+
+    def test_charge_consistent_with_potential(self):
+        sc, sp, _ = _linear_problem(0.5)
+        result = self_consistent_loop(sc, sp, np.zeros(3))
+        assert np.allclose(result.charge, sc(result.potential), atol=1e-3)
+
+    def test_residual_history_recorded(self):
+        sc, sp, _ = _linear_problem(0.5)
+        result = self_consistent_loop(sc, sp, np.zeros(3))
+        assert len(result.residual_history) == result.iterations
+        assert result.final_residual < 1e-4
+
+    def test_failure_raises_by_default(self):
+        def sc(u):
+            return u * 0.0
+
+        def sp(rho):
+            return -rho + np.array([1.0]) * np.random.default_rng().uniform(
+                10, 20)  # noisy, never converges
+
+        with pytest.raises(ConvergenceError):
+            self_consistent_loop(sc, sp, np.zeros(1),
+                                 SCFOptions(max_iterations=5))
+
+    def test_failure_returns_best_effort_when_asked(self):
+        def sp(rho):
+            return np.array([np.random.default_rng().uniform(10, 20)])
+
+        result = self_consistent_loop(
+            lambda u: u * 0.0, sp, np.zeros(1),
+            SCFOptions(max_iterations=5, raise_on_failure=False))
+        assert not result.converged
+        assert result.iterations == 5
+
+    def test_shape_change_detected(self):
+        with pytest.raises(ValueError):
+            self_consistent_loop(lambda u: u, lambda rho: np.zeros(5),
+                                 np.zeros(3))
+
+    def test_custom_mixer_used(self):
+        sc, sp, expected = _linear_problem(0.5)
+        mixer = LinearMixer(beta=0.6)
+        result = self_consistent_loop(sc, sp, np.zeros(3),
+                                      SCFOptions(mixer=mixer))
+        assert result.converged
+
+    def test_mixer_reset_between_runs(self):
+        """Reusing an SCFOptions with a stateful mixer must reset it."""
+        sc, sp, _ = _linear_problem(1.5)
+        options = SCFOptions(mixer=AndersonMixer(beta=0.4))
+        r1 = self_consistent_loop(sc, sp, np.zeros(3), options)
+        r2 = self_consistent_loop(sc, sp, np.zeros(3), options)
+        assert r1.converged and r2.converged
+        assert r1.iterations == r2.iterations

@@ -1,0 +1,95 @@
+"""Tests for Landauer current and conductance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import G_QUANTUM, KT_ROOM_EV, LANDAUER_PREFACTOR_A_PER_EV
+from repro.negf.transmission import (
+    landauer_conductance,
+    landauer_current,
+    transmission_dense,
+)
+
+
+class TestLandauerCurrent:
+    def test_zero_bias_zero_current(self):
+        e = np.linspace(-1, 1, 201)
+        t = np.ones_like(e)
+        assert landauer_current(e, t, 0.2, 0.2) == pytest.approx(0.0)
+
+    def test_ideal_channel_ballistic_limit(self):
+        """T=1 over a wide window: I = (2e/h) * q * V at T -> 0 K limit
+        (approximately, for V >> kT)."""
+        e = np.linspace(-2, 2, 4001)
+        t = np.ones_like(e)
+        v = 0.5
+        i = landauer_current(e, t, v / 2, -v / 2)
+        assert i == pytest.approx(LANDAUER_PREFACTOR_A_PER_EV * v, rel=1e-3)
+
+    def test_sign_follows_bias(self):
+        e = np.linspace(-1, 1, 501)
+        t = np.ones_like(e)
+        assert landauer_current(e, t, 0.2, -0.2) > 0.0
+        assert landauer_current(e, t, -0.2, 0.2) < 0.0
+
+    def test_antisymmetric_in_bias_swap(self):
+        e = np.linspace(-1, 1, 501)
+        rng = np.random.default_rng(0)
+        t = rng.uniform(0, 1, size=e.size)
+        i1 = landauer_current(e, t, 0.3, -0.1)
+        i2 = landauer_current(e, t, -0.1, 0.3)
+        assert i1 == pytest.approx(-i2, rel=1e-12)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            landauer_current(np.zeros(5), np.zeros(4), 0.1, 0.0)
+
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=20)
+    def test_current_monotone_in_window(self, v):
+        e = np.linspace(-1.5, 1.5, 1501)
+        t = np.ones_like(e)
+        i_small = landauer_current(e, t, v / 2, -v / 2)
+        i_large = landauer_current(e, t, v / 2 + 0.05, -v / 2 - 0.05)
+        assert i_large > i_small
+
+
+class TestLandauerConductance:
+    def test_quantum_of_conductance(self):
+        e = np.linspace(-1, 1, 2001)
+        t = np.ones_like(e)
+        g = landauer_conductance(e, t, 0.0)
+        assert g == pytest.approx(G_QUANTUM, rel=1e-3)
+
+    def test_gapped_channel_suppressed(self):
+        e = np.linspace(-1, 1, 2001)
+        t = np.where(np.abs(e) > 0.4, 1.0, 0.0)
+        g = landauer_conductance(e, t, 0.0)
+        # Thermally activated over a 0.4 eV barrier at 300 K.
+        assert g < G_QUANTUM * np.exp(-0.4 / KT_ROOM_EV) * 10
+
+    def test_linear_response_consistency(self):
+        """G from the thermal-window formula must match dI/dV at zero
+        bias computed by finite differences."""
+        e = np.linspace(-1, 1, 4001)
+        t = 1.0 / (1.0 + np.exp(-(e - 0.1) / 0.05))  # smooth turn-on
+        g = landauer_conductance(e, t, 0.0)
+        dv = 1e-4
+        i_p = landauer_current(e, t, dv / 2, -dv / 2)
+        g_fd = i_p / dv
+        assert g == pytest.approx(g_fd, rel=1e-3)
+
+
+class TestTransmissionDense:
+    def test_zero_coupling_zero_transmission(self):
+        g = np.eye(4, dtype=complex)
+        assert transmission_dense(g, np.zeros((4, 4)), np.zeros((4, 4))) == 0.0
+
+    def test_real_output(self):
+        rng = np.random.default_rng(5)
+        g = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        gamma = np.diag([1.0, 0, 0, 0.5])
+        t = transmission_dense(g, gamma, gamma)
+        assert isinstance(t, float)
+        assert t >= 0.0

@@ -1,0 +1,89 @@
+"""Tests for the P1 FEM solver, including FD cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import EPS_0_F_PER_NM
+from repro.poisson.fd import solve_poisson_2d
+from repro.poisson.fem import solve_poisson_fem_2d
+from repro.poisson.grid import Grid2D
+from repro.poisson.mesh import rectangle_mesh
+
+
+def _bottom_top_dirichlet(mesh, ly, v_top):
+    y = mesh.nodes[:, 1]
+    nodes = np.where((y < 1e-12) | (y > ly - 1e-12))[0]
+    values = np.where(mesh.nodes[nodes, 1] > ly / 2, v_top, 0.0)
+    return nodes, values
+
+
+class TestFEM:
+    def test_laplace_linear(self):
+        mesh = rectangle_mesh(4.0, 2.0, 17, 9)
+        nodes, values = _bottom_top_dirichlet(mesh, 2.0, 1.0)
+        phi = solve_poisson_fem_2d(mesh, np.ones(mesh.n_triangles),
+                                   np.zeros(mesh.n_nodes), nodes, values)
+        assert np.allclose(phi, mesh.nodes[:, 1] / 2.0, atol=1e-12)
+
+    def test_uniform_charge_parabola(self):
+        """1-D-like problem (uniform in x): parabolic profile in y."""
+        mesh = rectangle_mesh(2.0, 6.0, 9, 61)
+        rho_val = 1e-21
+        nodes, values = _bottom_top_dirichlet(mesh, 6.0, 0.0)
+        phi = solve_poisson_fem_2d(mesh, np.ones(mesh.n_triangles),
+                                   np.full(mesh.n_nodes, rho_val),
+                                   nodes, values)
+        y = mesh.nodes[:, 1]
+        exact = rho_val / (2 * EPS_0_F_PER_NM) * y * (6.0 - y)
+        assert np.max(np.abs(phi - exact)) < 2e-3 * exact.max()
+
+    def test_matches_fd_on_same_problem(self):
+        """FEM and FD must agree on a smooth mixed problem (this is the
+        validation of the paper's-FEM-to-our-FD substitution)."""
+        nx, ny = 25, 17
+        lx, ly = 5.0, 3.0
+        grid = Grid2D(lx, ly, nx, ny)
+        mesh = rectangle_mesh(lx, ly, nx, ny)
+
+        xx, yy = grid.meshgrid()
+        rho_grid = 1e-21 * np.exp(-((xx - 2.5) ** 2 + (yy - 1.5) ** 2))
+        eps_grid = np.where(yy < 1.5, 3.9, 1.0)
+
+        mask = np.zeros(grid.shape, bool)
+        mask[:, 0] = mask[:, -1] = True
+        vals = np.zeros(grid.shape)
+        vals[:, -1] = 0.4
+        phi_fd = solve_poisson_2d(grid, eps_grid, rho_grid, mask, vals)
+
+        # Same data on the mesh (nodes enumerate x-major like the grid).
+        rho_nodes = rho_grid.ravel()
+        y_nodes = mesh.nodes[:, 1]
+        centroids = mesh.element_centroids()
+        eps_elems = np.where(centroids[:, 1] < 1.5, 3.9, 1.0)
+        d_nodes = np.where((y_nodes < 1e-12) | (y_nodes > ly - 1e-12))[0]
+        d_vals = np.where(y_nodes[d_nodes] > ly / 2, 0.4, 0.0)
+        phi_fem = solve_poisson_fem_2d(mesh, eps_elems, rho_nodes,
+                                       d_nodes, d_vals)
+
+        # The two discretizations treat the dielectric interface
+        # differently (node-harmonic vs element-constant permittivity),
+        # so agreement is to within a few percent of the scale.
+        diff = np.abs(phi_fem - phi_fd.ravel())
+        assert diff.max() < 0.05 * max(np.abs(phi_fd).max(), 1e-12)
+
+    def test_validation_errors(self):
+        mesh = rectangle_mesh(1.0, 1.0, 3, 3)
+        ok_eps = np.ones(mesh.n_triangles)
+        ok_rho = np.zeros(mesh.n_nodes)
+        with pytest.raises(ValueError):
+            solve_poisson_fem_2d(mesh, ok_eps[:-1], ok_rho,
+                                 np.array([0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            solve_poisson_fem_2d(mesh, ok_eps, ok_rho[:-1],
+                                 np.array([0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            solve_poisson_fem_2d(mesh, ok_eps, ok_rho,
+                                 np.array([], dtype=int), np.array([]))
+        with pytest.raises(ValueError):
+            solve_poisson_fem_2d(mesh, 0.0 * ok_eps, ok_rho,
+                                 np.array([0]), np.array([0.0]))

@@ -1,0 +1,59 @@
+"""Tests for structured grids."""
+
+import numpy as np
+import pytest
+
+from repro.poisson.grid import Grid1D, Grid2D, Grid3D
+
+
+class TestGrid1D:
+    def test_spacing(self):
+        g = Grid1D(10.0, 11)
+        assert g.spacing_nm == pytest.approx(1.0)
+        assert g.coordinates[-1] == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid1D(0.0, 5)
+        with pytest.raises(ValueError):
+            Grid1D(1.0, 1)
+
+
+class TestGrid2D:
+    def test_shape_and_spacings(self):
+        g = Grid2D(4.0, 2.0, 5, 3)
+        assert g.shape == (5, 3)
+        assert g.spacings == (1.0, 1.0)
+
+    def test_meshgrid_indexing(self):
+        g = Grid2D(4.0, 2.0, 5, 3)
+        xx, yy = g.meshgrid()
+        assert xx.shape == (5, 3)
+        assert xx[2, 0] == pytest.approx(2.0)
+        assert yy[0, 2] == pytest.approx(2.0)
+
+    def test_nearest_index_clamps(self):
+        g = Grid2D(4.0, 2.0, 5, 3)
+        assert g.nearest_index(1.9, 0.4) == (2, 0)
+        assert g.nearest_index(99.0, -5.0) == (4, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(-1.0, 2.0, 5, 3)
+        with pytest.raises(ValueError):
+            Grid2D(1.0, 2.0, 1, 3)
+
+
+class TestGrid3D:
+    def test_axes(self):
+        g = Grid3D(1.0, 2.0, 3.0, 3, 5, 7)
+        assert g.shape == (3, 5, 7)
+        assert g.x[-1] == pytest.approx(1.0)
+        assert g.y[-1] == pytest.approx(2.0)
+        assert g.z[-1] == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid3D(1, 1, 0, 3, 3, 3)
+        with pytest.raises(ValueError):
+            Grid3D(1, 1, 1, 3, 3, 1)

@@ -1,0 +1,63 @@
+"""Tests for triangle-mesh construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poisson.mesh import TriangleMesh, rectangle_mesh
+
+
+class TestRectangleMesh:
+    def test_counts(self):
+        mesh = rectangle_mesh(2.0, 1.0, 5, 3)
+        assert mesh.n_nodes == 15
+        assert mesh.n_triangles == 2 * 4 * 2
+
+    def test_total_area(self):
+        mesh = rectangle_mesh(3.0, 2.0, 7, 5)
+        assert mesh.element_areas().sum() == pytest.approx(6.0)
+
+    def test_no_degenerate_elements(self):
+        mesh = rectangle_mesh(1.0, 1.0, 9, 9)
+        assert np.all(mesh.element_areas() > 0.0)
+
+    def test_boundary_nodes(self):
+        mesh = rectangle_mesh(1.0, 1.0, 4, 4)
+        boundary = mesh.boundary_nodes()
+        # Perimeter of a 4x4 node grid: 4*4 - 2*2 interior = 12.
+        assert boundary.size == 12
+        for b in boundary:
+            x, y = mesh.nodes[b]
+            on_edge = (abs(x) < 1e-12 or abs(x - 1) < 1e-12
+                       or abs(y) < 1e-12 or abs(y - 1) < 1e-12)
+            assert on_edge
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=2, max_value=12))
+    @settings(max_examples=15)
+    def test_area_invariant(self, nx, ny):
+        mesh = rectangle_mesh(2.5, 1.5, nx, ny)
+        assert mesh.element_areas().sum() == pytest.approx(2.5 * 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rectangle_mesh(1.0, 1.0, 1, 3)
+        with pytest.raises(ValueError):
+            rectangle_mesh(-1.0, 1.0, 3, 3)
+
+
+class TestTriangleMesh:
+    def test_rejects_bad_indices(self):
+        nodes = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            TriangleMesh(nodes=nodes, triangles=np.array([[0, 1, 3]]))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(nodes=np.zeros((3, 3)),
+                         triangles=np.array([[0, 1, 2]]))
+
+    def test_centroids(self):
+        nodes = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+        mesh = TriangleMesh(nodes=nodes, triangles=np.array([[0, 1, 2]]))
+        assert np.allclose(mesh.element_centroids(), [[1.0, 1.0]])

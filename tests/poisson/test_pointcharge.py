@@ -1,0 +1,135 @@
+"""Tests for bare and gate-screened impurity potentials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poisson.pointcharge import (
+    coulomb_potential_ev,
+    screened_impurity_potential_ev,
+)
+
+
+class TestCoulomb:
+    def test_sign_convention(self):
+        """A negative impurity raises the electron energy (repels
+        electrons) - the paper's barrier-raising -2q case."""
+        u = coulomb_potential_ev(-1.0, np.array([1.0]), 3.9)[0]
+        assert u > 0.0
+        u_pos = coulomb_potential_ev(+1.0, np.array([1.0]), 3.9)[0]
+        assert u_pos == pytest.approx(-u)
+
+    def test_magnitude_1nm_sio2(self):
+        """|U| = 14.4 eV/ (eps_r r[A])... at 1 nm in eps=3.9: ~0.37 eV."""
+        u = abs(coulomb_potential_ev(1.0, np.array([1.0]), 3.9)[0])
+        assert u == pytest.approx(1.44 / 3.9, rel=0.01)
+
+    def test_linear_in_charge(self):
+        r = np.array([0.5, 1.0, 2.0])
+        u1 = coulomb_potential_ev(1.0, r, 3.9)
+        u2 = coulomb_potential_ev(2.0, r, 3.9)
+        assert np.allclose(u2, 2 * u1)
+
+    def test_clip_at_minimum_distance(self):
+        u0 = coulomb_potential_ev(1.0, np.array([0.0]), 3.9)
+        u_min = coulomb_potential_ev(1.0, np.array([0.05]), 3.9)
+        assert u0[0] == pytest.approx(u_min[0])
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            coulomb_potential_ev(1.0, np.array([1.0]), 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=20)
+    def test_monotone_decay(self, r):
+        u_near = abs(coulomb_potential_ev(1.0, np.array([r]), 3.9)[0])
+        u_far = abs(coulomb_potential_ev(1.0, np.array([r * 2]), 3.9)[0])
+        assert u_far <= u_near
+
+
+class TestScreened:
+    def test_faster_than_coulomb_decay(self):
+        """Gate image charges make the lateral decay exponential; at a
+        few gate separations the screened potential must be far below
+        the bare Coulomb tail."""
+        s = np.array([6.0])
+        bare = abs(coulomb_potential_ev(-1.0, s, 3.9)[0])
+        screened = abs(screened_impurity_potential_ev(
+            -1.0, s, impurity_height_nm=2.0, gate_separation_nm=3.0,
+            eps_r=3.9)[0])
+        assert screened < bare / 50.0
+
+    def test_exponential_decay_length(self):
+        """Asymptotic decay between grounded plates goes like
+        exp(-pi s / d)."""
+        d = 3.0
+        s = np.array([4.0, 6.0])
+        u = np.abs(screened_impurity_potential_ev(
+            -1.0, s, impurity_height_nm=1.8, gate_separation_nm=d,
+            eps_r=3.9))
+        measured = np.log(u[0] / u[1]) / (s[1] - s[0])
+        assert measured == pytest.approx(np.pi / d, rel=0.15)
+
+    def test_sign_matches_coulomb_nearby(self):
+        u = screened_impurity_potential_ev(
+            -2.0, np.array([0.0]), impurity_height_nm=2.0,
+            gate_separation_nm=3.35, eps_r=3.9)[0]
+        assert u > 0.0
+
+    def test_zero_on_gate_plane(self):
+        """The potential must vanish on the grounded gates."""
+        u = screened_impurity_potential_ev(
+            1.0, np.array([0.5, 2.0]), impurity_height_nm=1.5,
+            gate_separation_nm=3.0, eps_r=3.9, plane_height_nm=0.0)
+        assert np.max(np.abs(u)) < 2e-3
+
+    def test_image_series_converged(self):
+        kwargs = dict(charge_e=-1.0, lateral_nm=np.array([0.0, 1.0, 3.0]),
+                      impurity_height_nm=2.0, gate_separation_nm=3.0,
+                      eps_r=3.9)
+        u_40 = screened_impurity_potential_ev(n_images=40, **kwargs)
+        u_200 = screened_impurity_potential_ev(n_images=200, **kwargs)
+        # The alternating image tail leaves an O(1/N) remainder of a few
+        # x 1e-5 eV - far below any device-relevant scale.
+        assert np.allclose(u_40, u_200, atol=5e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            screened_impurity_potential_ev(1.0, np.array([0.0]), 4.0, 3.0, 3.9)
+        with pytest.raises(ValueError):
+            screened_impurity_potential_ev(1.0, np.array([0.0]), 1.0, -1.0, 3.9)
+        with pytest.raises(ValueError):
+            screened_impurity_potential_ev(1.0, np.array([0.0]), 1.0, 3.0,
+                                           3.9, n_images=0)
+
+    def test_matches_3d_fd_solver(self):
+        """Cross-validate the image series against the 3-D FD Poisson
+        solver with grounded top/bottom plates."""
+        from repro.poisson.fd import solve_poisson_3d
+        from repro.poisson.grid import Grid3D
+        from repro.constants import Q_E
+
+        d = 3.0
+        n = 41
+        nz = 13
+        g = Grid3D(12.0, 12.0, d, n, n, nz)
+        mask = np.zeros(g.shape, bool)
+        mask[:, :, 0] = mask[:, :, -1] = True
+        mask[0, :, :] = mask[-1, :, :] = True
+        mask[:, 0, :] = mask[:, -1, :] = True
+        rho = np.zeros(g.shape)
+        iz = 8  # z = 2.0 nm
+        dv = (g.spacings[0] * g.spacings[1] * g.spacings[2])
+        rho[20, 20, iz] = -Q_E / dv
+        phi = solve_poisson_3d(g, np.full(g.shape, 3.9), rho, mask,
+                               np.zeros(g.shape))
+        u_fd = -phi[20:, 20, nz // 2] * -1.0  # electron energy = -phi
+
+        s = g.x[20:] - g.x[20]
+        u_img = screened_impurity_potential_ev(
+            -1.0, s, impurity_height_nm=2.0, gate_separation_nm=d,
+            eps_r=3.9, plane_height_nm=g.z[nz // 2])
+        # Compare away from the singular cell and from the lateral walls.
+        sel = (s > 1.0) & (s < 4.0)
+        assert np.allclose(-phi[20:, 20, nz // 2][sel], u_img[sel],
+                           rtol=0.3)

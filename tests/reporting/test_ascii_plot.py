@@ -1,0 +1,48 @@
+"""Tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii_plot import ascii_histogram, ascii_line_plot
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        x = np.linspace(0, 1, 20)
+        out = ascii_line_plot(x, {"a": x, "b": 1 - x}, title="demo")
+        assert "demo" in out
+        assert "*=a" in out
+        assert "+=b" in out
+
+    def test_log_scale(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_line_plot(x, {"s": 10.0 ** (6 * x)}, logy=True)
+        assert "log10(y)" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot(np.zeros(5), {"s": np.zeros(4)})
+
+    def test_handles_nan_series(self):
+        x = np.linspace(0, 1, 10)
+        y = x.copy()
+        y[3] = np.nan
+        out = ascii_line_plot(x, {"s": y})
+        assert "y in" in out
+
+    def test_all_nan_graceful(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_line_plot(x, {"s": np.full(5, np.nan)})
+        assert "no finite data" in out
+
+
+class TestHistogram:
+    def test_counts_total(self):
+        values = np.random.default_rng(0).normal(size=500)
+        out = ascii_histogram(values, bins=10)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 500
+
+    def test_title(self):
+        out = ascii_histogram(np.zeros(3), title="hist")
+        assert out.splitlines()[0] == "hist"

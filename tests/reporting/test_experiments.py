@@ -1,0 +1,71 @@
+"""Tests for the experiment registry (fast modes of the cheap entries).
+
+The full experiments are exercised by the benchmark harness; here we
+check registry integrity plus the fast paths of the device-level
+experiments (fig2/fig4 and parts of fig5/fig7 logic are covered through
+their building blocks elsewhere).
+"""
+
+import pytest
+
+from repro.reporting.experiments import EXPERIMENTS, run_experiment, run_fig2, run_fig4
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        paper = {"fig2", "fig3", "table1", "fig4", "fig5",
+                 "table2", "table3", "table4", "fig6", "fig7"}
+        extensions = {"ext-roughness", "ext-oxide", "ext-temperature",
+                      "ext-yield"}
+        assert set(EXPERIMENTS) == paper | extensions
+
+    def test_descriptions_present(self):
+        for key, (description, fn) in EXPERIMENTS.items():
+            assert description
+            assert callable(fn)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig2(self, tech):
+        return run_fig2(fast=True)
+
+    def test_vt_anchor_pair(self, fig2):
+        """Paper Fig 2(b): VT ~0.3 V at zero offset, ~0.1 V at 0.2 V."""
+        _, data = fig2
+        assert data["vt"][0.0] == pytest.approx(0.30, abs=0.05)
+        assert data["vt"][0.2] == pytest.approx(0.10, abs=0.05)
+
+    def test_four_drain_biases(self, fig2):
+        _, data = fig2
+        assert len(data["series"]) == 4
+
+    def test_report_contains_plot_and_table(self, fig2):
+        report, _ = fig2
+        assert "Fig 2(a)" in report
+        assert "Fig 2(b)" in report
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self, tech):
+        return run_fig4(fast=True)
+
+    def test_on_off_ordering(self, fig4):
+        _, data = fig4
+        r = data["on_off_ratios"]
+        assert r[9] > r[12] > r[15] > r[18]
+
+    def test_n9_high_ratio(self, fig4):
+        """Paper: N=9 Ion/Ioff "as high as 1000X" - require > 100x."""
+        _, data = fig4
+        assert data["on_off_ratios"][9] > 100.0
+
+    def test_four_series(self, fig4):
+        _, data = fig4
+        assert [s.name for s in data["series"]] == [
+            "N=9", "N=12", "N=15", "N=18"]

@@ -1,0 +1,32 @@
+"""Tests for figure data series."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import FigureSeries, save_series_csv
+
+
+class TestFigureSeries:
+    def test_arrays_coerced(self):
+        s = FigureSeries("a", [1, 2], [3, 4])
+        assert s.x.dtype == float
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            FigureSeries("a", np.zeros(3), np.zeros(4))
+
+    def test_meta_free_form(self):
+        s = FigureSeries("a", [0], [0], meta={"figure": "4"})
+        assert s.meta["figure"] == "4"
+
+
+class TestCSV:
+    def test_roundtrip_content(self, tmp_path):
+        series = [FigureSeries("s1", [0.0, 1.0], [2.0, 3.0]),
+                  FigureSeries("s2", [0.5], [9.0])]
+        path = tmp_path / "fig.csv"
+        save_series_csv(series, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert len(lines) == 4
+        assert lines[1].startswith("s1,0.0,")

@@ -1,0 +1,41 @@
+"""Tests for ASCII table formatting."""
+
+import math
+
+import pytest
+
+from repro.reporting.tables import format_pct_pair, format_table
+
+
+class TestPctPair:
+    def test_paper_cell_format(self):
+        assert format_pct_pair((6.0, 77.0)) == "+6,+77"
+        assert format_pct_pair((-13.0, -47.0)) == "-13,-47"
+
+    def test_nan_rendered_as_dash(self):
+        assert format_pct_pair((float("nan"), 5.0)) == "-,+5"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"],
+                           [["alpha", "1.5"], ["b", "20"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["x"], [["5"], ["500"]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("500")
+
+    def test_wide_cells_expand_column(self):
+        out = format_table(["h"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in out

@@ -1,0 +1,25 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "table1" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_writes_output_file(self, tmp_path, tech, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["run", "fig2", "--fast", "--out", str(out)]) == 0
+        assert "Fig 2" in out.read_text()

@@ -1,0 +1,68 @@
+"""Tests for the ring-oscillator Monte Carlo (Fig. 6 mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.variability.montecarlo import run_ring_oscillator_monte_carlo
+
+
+class TestDegenerateDistribution:
+    def test_all_nominal_levels_zero_spread(self, tech):
+        """Collapsing all levels to nominal must reproduce the nominal
+        oscillator exactly with zero variance."""
+        result = run_ring_oscillator_monte_carlo(
+            tech, n_samples=20, width_levels=(12, 12, 12),
+            charge_levels=(0.0, 0.0, 0.0))
+        assert np.allclose(result.frequencies_hz,
+                           result.nominal_frequency_hz)
+        assert result.mean_frequency_shift == pytest.approx(0.0, abs=1e-12)
+        assert result.mean_static_power_shift == pytest.approx(0.0,
+                                                               abs=1e-12)
+
+
+class TestRealDistribution:
+    @pytest.fixture(scope="class")
+    def result(self, tech):
+        return run_ring_oscillator_monte_carlo(tech, n_samples=250,
+                                               seed=2008)
+
+    def test_shapes(self, result):
+        assert result.frequencies_hz.shape == (250,)
+        assert result.static_power_w.shape == (250,)
+
+    def test_frequency_mean_degrades(self, result):
+        """Paper: "the mean value of frequency decreases by 10% from the
+        nominal value" (we require a degradation of 3-30%)."""
+        assert -0.30 < result.mean_frequency_shift < -0.02
+
+    def test_static_power_mean_increases(self, result):
+        """Paper: "the mean value of static power increases by 23%"
+        (we require +8-120%)."""
+        assert 0.05 < result.mean_static_power_shift < 1.5
+
+    def test_dynamic_power_mean_roughly_unchanged(self, result):
+        """Paper: "the mean value of dynamic power remains unchanged"."""
+        assert abs(result.mean_dynamic_power_shift) < 0.15
+
+    def test_distributions_have_spread(self, result):
+        assert np.std(result.frequencies_hz) > 0.0
+        assert np.std(result.static_power_w) > 0.0
+
+    def test_reproducible(self, tech, result):
+        again = run_ring_oscillator_monte_carlo(tech, n_samples=250,
+                                                seed=2008)
+        assert np.allclose(again.frequencies_hz, result.frequencies_hz)
+
+    def test_variant_counts_cover_levels(self, result):
+        # ribbon granularity: 2 devices x 15 stages x 4 ribbons per sample.
+        assert sum(result.variant_counts.values()) == 2 * 15 * 4 * 250
+        assert any("N=9" in k for k in result.variant_counts)
+
+    def test_device_granularity_spreads_more(self, tech, result):
+        """Whole-device draws remove the array averaging: the frequency
+        distribution must widen and its mean shift grow."""
+        device = run_ring_oscillator_monte_carlo(
+            tech, n_samples=250, seed=2008, granularity="device")
+        assert (np.std(device.frequencies_hz)
+                > np.std(result.frequencies_hz))
+        assert device.mean_frequency_shift < result.mean_frequency_shift

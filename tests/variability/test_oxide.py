@@ -1,0 +1,47 @@
+"""Tests for the oxide-thickness variation study."""
+
+import pytest
+
+from repro.variability.oxide import oxide_thickness_study, oxide_variant_geometry
+
+
+class TestGeometryScaling:
+    def test_natural_length_scales_sqrt(self, tech):
+        g = oxide_variant_geometry(tech.geometry, 6.0)  # 4x thicker
+        assert g.natural_length_nm == pytest.approx(
+            2.0 * tech.geometry.natural_length_nm, rel=1e-9)
+
+    def test_capacitance_drops_with_thickness(self, tech):
+        thin = oxide_variant_geometry(tech.geometry, 1.2)
+        thick = oxide_variant_geometry(tech.geometry, 2.1)
+        assert (thin.insulator_capacitance_f_per_nm
+                > thick.insulator_capacitance_f_per_nm)
+
+    def test_validation(self, tech):
+        with pytest.raises(ValueError):
+            oxide_variant_geometry(tech.geometry, 0.0)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self, tech):
+        # Two thicknesses around nominal keeps the test affordable; the
+        # full sweep runs in the extension bench.
+        return oxide_thickness_study(tech, thicknesses_nm=(1.5, 2.1))
+
+    def test_nominal_thickness_is_reference(self, study):
+        nominal, entries = study
+        at_nominal = entries[0]
+        assert at_nominal.oxide_thickness_nm == 1.5
+        assert at_nominal.delay_pct == pytest.approx(0.0, abs=6.0)
+
+    def test_thicker_oxide_less_leakage(self, study):
+        """A longer natural length thickens the Schottky barriers:
+        tunneling leakage drops with oxide thickness."""
+        _, entries = study
+        assert entries[1].static_power_pct < entries[0].static_power_pct
+
+    def test_thicker_oxide_slower(self, study):
+        """The same barrier thickening costs on-current -> delay."""
+        _, entries = study
+        assert entries[1].delay_pct > entries[0].delay_pct

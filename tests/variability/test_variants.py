@@ -1,0 +1,77 @@
+"""Tests for device variants and array composition."""
+
+import numpy as np
+import pytest
+
+from repro.variability.variants import (
+    DeviceVariant,
+    NOMINAL_VARIANT,
+    variant_array_table,
+    variant_geometry,
+    variant_ribbon_table,
+)
+
+
+class TestVariantGeometry:
+    def test_nominal_is_clean(self):
+        g = variant_geometry(NOMINAL_VARIANT, +1)
+        assert g.n_index == 12
+        assert g.impurity is None
+
+    def test_width_variant(self):
+        g = variant_geometry(DeviceVariant(n_index=9), +1)
+        assert g.n_index == 9
+
+    def test_p_device_mirrors_impurity(self):
+        """"a +q charge has the same effect on a pGNRFET device as a -q
+        charge has on an nGNRFET device"."""
+        v = DeviceVariant(impurity_e=+1.0)
+        g_n = variant_geometry(v, +1)
+        g_p = variant_geometry(v, -1)
+        assert g_n.impurity.charge_e == +1.0
+        assert g_p.impurity.charge_e == -1.0
+
+    def test_labels(self):
+        assert DeviceVariant().label() == "N=12"
+        assert DeviceVariant(9, -2.0).label() == "N=9,-2q"
+
+
+class TestArrayComposition:
+    def test_zero_affected_is_pure_nominal(self, tech):
+        nominal = variant_ribbon_table(NOMINAL_VARIANT, +1, tech.geometry)
+        arr = variant_array_table(DeviceVariant(n_index=9), +1, 0, 0.0,
+                                  4, tech.geometry)
+        assert arr.current(0.5, 0.5) == pytest.approx(
+            4 * nominal.current(0.5, 0.5), rel=1e-12)
+
+    def test_one_vs_all_monotone(self, tech):
+        """On-current interpolates between nominal and variant as more
+        ribbons are affected (N=9 has lower drive than N=12)."""
+        currents = []
+        for k in (0, 1, 4):
+            arr = variant_array_table(DeviceVariant(n_index=9), +1, k,
+                                      0.0, 4, tech.geometry)
+            currents.append(arr.current(0.7, 0.5))
+        assert currents[0] > currents[1] > currents[2]
+
+    def test_shared_gate_offset(self, tech):
+        arr = variant_array_table(DeviceVariant(n_index=9), +1, 2, 0.17,
+                                  4, tech.geometry)
+        assert arr.gate_offset_v == 0.17
+
+    def test_rejects_bad_count(self, tech):
+        with pytest.raises(ValueError):
+            variant_array_table(NOMINAL_VARIANT, +1, 5, 0.0, 4,
+                                tech.geometry)
+
+    def test_small_gap_variant_leaks_more(self, tech):
+        """A single N=18 ribbon already dominates array leakage (paper:
+        "even single GNR variations ... can increase static power
+        consumption by 3X")."""
+        offset = tech.gate_offset_for_vt(0.13)
+        nom = variant_array_table(NOMINAL_VARIANT, +1, 0, offset, 4,
+                                  tech.geometry)
+        one18 = variant_array_table(DeviceVariant(n_index=18), +1, 1,
+                                    offset, 4, tech.geometry)
+        # Off-state leakage at V_GS = 0, V_DS = 0.4.
+        assert one18.current(0.0, 0.4) > 1.5 * nom.current(0.0, 0.4)
