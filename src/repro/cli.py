@@ -3,18 +3,27 @@
 Usage::
 
     repro list
-    repro run fig4 [--fast] [--out report.txt]
+    repro run fig4 [--fast] [--out report.txt] [--workers 4] [--no-cache]
     repro run all [--fast]
+    repro cache info
+    repro cache clear
+
+``--workers`` and ``--no-cache`` configure the shared execution runtime
+(:mod:`repro.runtime`) by exporting ``REPRO_WORKERS`` /
+``REPRO_NO_CACHE`` for the process, so every sweep the experiment
+touches picks them up.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
 
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
+from repro.runtime import NO_CACHE_ENV, WORKERS_ENV, ArtifactCache, cache_root
 
 
 def _cmd_list(_args) -> int:
@@ -25,7 +34,16 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _apply_runtime_flags(args) -> None:
+    """Export runtime knobs so every sweep layer sees them."""
+    if getattr(args, "workers", None) is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
+    if getattr(args, "no_cache", False):
+        os.environ[NO_CACHE_ENV] = "1"
+
+
 def _cmd_run(args) -> int:
+    _apply_runtime_flags(args)
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
     for target in targets:
@@ -47,6 +65,22 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    store = ArtifactCache("tables")
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached table(s) from {store.directory}")
+        return 0
+    keys = store.keys()
+    size_mb = store.size_bytes() / 1e6
+    print(f"cache root:  {cache_root()}")
+    print(f"enabled:     {store.enabled}")
+    print(f"tables:      {len(keys)} artifact(s), {size_mb:.2f} MB")
+    for key in keys:
+        print(f"  {key}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,7 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--fast", action="store_true",
                        help="reduced resolution for a quick pass")
     p_run.add_argument("--out", help="also write the report to a file")
+    p_run.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for every sweep "
+                            f"(default: ${WORKERS_ENV} or serial)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk device-table cache")
     p_run.set_defaults(func=_cmd_run)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the on-disk cache")
+    p_cache.add_argument("action", choices=("info", "clear"),
+                         help="'info' lists artifacts, 'clear' deletes them")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

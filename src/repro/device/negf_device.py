@@ -162,7 +162,7 @@ class NEGFDeviceResult:
     valence_band_ev: np.ndarray
     electron_density_per_nm: np.ndarray
     hole_density_per_nm: np.ndarray
-    scf: SCFResult = field(repr=False, default=None)
+    scf: SCFResult | None = field(repr=False, default=None)
 
 
 class NEGFDevice:
@@ -272,10 +272,8 @@ class NEGFDevice:
         """
         energies = self._energy_grid(edge_profile, mu_left, mu_right)
         onsite = edge_profile + 2.0 * t_chain
-        sigma_l = np.array([lead_self_energy_1d(e, mu_left, t_chain)
-                            for e in energies])
-        sigma_r = np.array([lead_self_energy_1d(e, mu_right, t_chain)
-                            for e in energies])
+        sigma_l = lead_self_energy_1d(energies, mu_left, t_chain)
+        sigma_r = lead_self_energy_1d(energies, mu_right, t_chain)
         out = _scalar_chain_rgf(energies, onsite, t_chain, sigma_l, sigma_r)
 
         f_l = fermi_dirac(energies, mu_left, self.kt_ev)
@@ -326,11 +324,15 @@ class NEGFDevice:
               tolerance_ev: float = 1e-3,
               max_iterations: int = 60) -> NEGFDeviceResult:
         """Self-consistently solve one bias point."""
-        carriers: dict[str, np.ndarray] = {}
+        # The SCF loop's last solve_charge call is always evaluated at the
+        # potential it returns (on convergence it recomputes), so the
+        # carriers/current recorded here describe the final state and no
+        # extra transport solve is needed afterwards.
+        state: dict[str, np.ndarray | float] = {}
 
         def solve_charge(u: np.ndarray) -> np.ndarray:
-            _, n, p = self._transport(u, vd)
-            carriers["n"], carriers["p"] = n, p
+            current, n, p = self._transport(u, vd)
+            state["current"], state["n"], state["p"] = current, n, p
             return n - p
 
         def solve_potential(net: np.ndarray) -> np.ndarray:
@@ -344,13 +346,14 @@ class NEGFDevice:
         scf = self_consistent_loop(solve_charge, solve_potential, u0, options)
 
         u = scf.potential
-        current, n, p = self._transport(u, vd)
         edge = self.modes[0].edge_ev
         return NEGFDeviceResult(
-            vg=vg, vd=vd, current_a=current, x_nm=self.x_nm.copy(),
+            vg=vg, vd=vd, current_a=float(state["current"]),
+            x_nm=self.x_nm.copy(),
             midgap_ev=u, conduction_band_ev=u + edge,
             valence_band_ev=u - edge,
-            electron_density_per_nm=n, hole_density_per_nm=p, scf=scf)
+            electron_density_per_nm=state["n"], hole_density_per_nm=state["p"],
+            scf=scf)
 
     def band_profile(self, vg: float, vd: float) -> tuple[np.ndarray, np.ndarray]:
         """Convenience: ``(x, E_C(x))`` of the converged solution."""

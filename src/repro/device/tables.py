@@ -27,6 +27,7 @@ import numpy as np
 from repro.device.geometry import GNRFETGeometry
 from repro.device.iv import IVSweep, sweep_iv
 from repro.errors import TableRangeError
+from repro.runtime import TABLE_ENGINE_VERSION, ArtifactCache, content_key
 
 
 def _bilinear(axis_x: np.ndarray, axis_y: np.ndarray, grid: np.ndarray,
@@ -321,6 +322,38 @@ DEFAULT_VD_GRID = np.round(np.arange(0.0, 0.7501, 0.05), 10)
 
 _TABLE_CACHE: dict[tuple, DeviceTable] = {}
 
+#: Namespace of persisted device tables under the runtime cache root.
+TABLE_CACHE_NAMESPACE = "tables"
+
+
+def table_cache_key(
+    geometry: GNRFETGeometry,
+    vg_grid: np.ndarray,
+    vd_grid: np.ndarray,
+    n_modes: int | None,
+    version: str = TABLE_ENGINE_VERSION,
+) -> str:
+    """Stable content hash identifying one table build on disk.
+
+    Any change to the geometry (including nested impurity fields), either
+    bias grid, the retained mode count, or the engine version tag yields
+    a different key, so stale artifacts are orphaned, never reused.
+    """
+    return content_key("device-table", version, geometry,
+                       np.asarray(vg_grid, float), np.asarray(vd_grid, float),
+                       n_modes)
+
+
+def _disk_cache() -> ArtifactCache:
+    return ArtifactCache(TABLE_CACHE_NAMESPACE)
+
+
+def _table_from_payload(payload: dict) -> DeviceTable:
+    return DeviceTable(vg=payload["vg"], vd=payload["vd"],
+                       current_a=payload["current_a"],
+                       charge_c=payload["charge_c"],
+                       label=str(payload["label"]))
+
 
 def build_device_table(
     geometry: GNRFETGeometry,
@@ -328,27 +361,56 @@ def build_device_table(
     vd_grid: np.ndarray | None = None,
     n_modes: int | None = None,
     use_cache: bool = True,
+    workers: int | None = None,
 ) -> DeviceTable:
-    """Build (or fetch from the in-process cache) one ribbon's table.
+    """Build (or fetch from cache) one ribbon's table.
 
-    The cache key includes the full geometry (a frozen dataclass) and the
-    grid, so variant devices (width, impurity) coexist.
+    Lookup order: in-process dict, then the persistent on-disk store
+    (``~/.cache/repro-gnrfet`` unless ``REPRO_CACHE_DIR``/
+    ``REPRO_NO_CACHE`` say otherwise), then a fresh ``sweep_iv`` — fanned
+    across ``workers`` processes when requested — whose result is written
+    back to both layers.  The cache key includes the full geometry (a
+    frozen dataclass), the grids, the mode count and the engine version,
+    so variant devices (width, impurity) coexist and physics changes
+    invalidate cleanly.  ``use_cache=False`` bypasses both layers.
     """
     vg_grid = DEFAULT_VG_GRID if vg_grid is None else np.asarray(vg_grid, float)
     vd_grid = DEFAULT_VD_GRID if vd_grid is None else np.asarray(vd_grid, float)
     key = (geometry, tuple(vg_grid), tuple(vd_grid), n_modes)
     if use_cache and key in _TABLE_CACHE:
         return _TABLE_CACHE[key]
-    sweep = sweep_iv(geometry, vg_grid, vd_grid, n_modes=n_modes)
-    label = f"N={geometry.n_index}"
-    if geometry.impurity is not None and geometry.impurity.charge_e != 0.0:
-        label += f",imp={geometry.impurity.charge_e:+g}q"
-    table = DeviceTable.from_sweep(sweep, label=label)
+
+    disk = _disk_cache() if use_cache else None
+    digest = table_cache_key(geometry, vg_grid, vd_grid, n_modes)
+    table = None
+    if disk is not None:
+        payload = disk.get(digest)
+        if payload is not None:
+            try:
+                table = _table_from_payload(payload)
+            except (KeyError, ValueError):
+                table = None  # corrupt/foreign payload: rebuild
+    if table is None:
+        sweep = sweep_iv(geometry, vg_grid, vd_grid, n_modes=n_modes,
+                         workers=workers)
+        label = f"N={geometry.n_index}"
+        if geometry.impurity is not None and geometry.impurity.charge_e != 0.0:
+            label += f",imp={geometry.impurity.charge_e:+g}q"
+        table = DeviceTable.from_sweep(sweep, label=label)
+        if disk is not None:
+            disk.put(digest, vg=table.vg, vd=table.vd,
+                     current_a=table.current_a, charge_c=table.charge_c,
+                     label=np.array(table.label))
     if use_cache:
         _TABLE_CACHE[key] = table
     return table
 
 
-def clear_table_cache() -> None:
-    """Empty the in-process table cache (mainly for tests)."""
+def clear_table_cache(disk: bool = False) -> None:
+    """Empty the in-process table cache (mainly for tests).
+
+    ``disk=True`` also clears the persistent on-disk namespace.
+    """
     _TABLE_CACHE.clear()
+    if disk:
+        _disk_cache().clear()

@@ -1,8 +1,15 @@
-"""Dense V_DD-V_T exploration sweep (the data behind Fig. 3b)."""
+"""Dense V_DD-V_T exploration sweep (the data behind Fig. 3b).
+
+Every (V_T, V_DD) cell is an independent quasi-static analysis, so the
+sweep fans V_T rows out across worker processes through
+:func:`repro.runtime.parallel_map`; the per-cell computation is identical
+either way, so parallel and serial grids are bit-for-bit equal.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -10,6 +17,7 @@ from repro.circuit.inverter import inverter_snm
 from repro.circuit.ring_oscillator import estimate_ring_oscillator
 from repro.errors import AnalysisError
 from repro.exploration.technology import GNRFETTechnology
+from repro.runtime import parallel_map
 
 
 @dataclass
@@ -35,6 +43,32 @@ class ExplorationGrid:
         return np.log(np.clip(edp_aj_ps, floor, None))
 
 
+def _explore_vt_row(tech: GNRFETTechnology, vdd_grid: np.ndarray,
+                    n_stages: int, with_snm: bool, vt: float
+                    ) -> tuple[np.ndarray, ...]:
+    """All V_DD cells of one V_T row (module-level so it pickles)."""
+    n_vdd = vdd_grid.size
+    freq = np.full(n_vdd, np.nan)
+    edp = np.full(n_vdd, np.nan)
+    snm = np.full(n_vdd, np.nan)
+    p_tot = np.full(n_vdd, np.nan)
+    p_stat = np.full(n_vdd, np.nan)
+    nt, pt = tech.inverter_tables(float(vt))
+    for j, vdd in enumerate(vdd_grid):
+        vdd = float(vdd)
+        try:
+            m = estimate_ring_oscillator(nt, pt, vdd, n_stages, tech.params)
+        except AnalysisError:
+            continue
+        freq[j] = m.frequency_hz
+        edp[j] = m.edp_j_s
+        p_tot[j] = m.total_power_w
+        p_stat[j] = m.static_power_w
+        if with_snm:
+            snm[j] = inverter_snm(nt, pt, vdd, tech.params)
+    return freq, edp, snm, p_tot, p_stat
+
+
 def sweep_vdd_vt(
     tech: GNRFETTechnology,
     vt_grid: np.ndarray,
@@ -42,12 +76,15 @@ def sweep_vdd_vt(
     n_stages: int = 15,
     with_snm: bool = True,
     snm_points: int = 41,
+    workers: int | None = None,
 ) -> ExplorationGrid:
     """Quasi-static sweep of RO metrics and inverter SNM.
 
     Invalid corners (V_T >= V_DD with no headroom, vanishing drive) are
     recorded as NaN rather than raised, so contour extraction can operate
-    on the full rectangle.
+    on the full rectangle.  ``workers`` > 1 distributes V_T rows across a
+    process pool (default from ``REPRO_WORKERS``); the resulting grids
+    are bit-for-bit identical to a serial sweep.
     """
     vt_grid = np.asarray(vt_grid, dtype=float)
     vdd_grid = np.asarray(vdd_grid, dtype=float)
@@ -58,21 +95,15 @@ def sweep_vdd_vt(
     p_tot = np.full(shape, np.nan)
     p_stat = np.full(shape, np.nan)
 
-    for i, vt in enumerate(vt_grid):
-        nt, pt = tech.inverter_tables(float(vt))
-        for j, vdd in enumerate(vdd_grid):
-            vdd = float(vdd)
-            try:
-                m = estimate_ring_oscillator(nt, pt, vdd, n_stages,
-                                             tech.params)
-            except AnalysisError:
-                continue
-            freq[i, j] = m.frequency_hz
-            edp[i, j] = m.edp_j_s
-            p_tot[i, j] = m.total_power_w
-            p_stat[i, j] = m.static_power_w
-            if with_snm:
-                snm[i, j] = inverter_snm(nt, pt, vdd, tech.params)
+    rows = parallel_map(
+        partial(_explore_vt_row, tech, vdd_grid, n_stages, with_snm),
+        [float(vt) for vt in vt_grid], workers=workers)
+    for i, (f_row, e_row, s_row, pt_row, ps_row) in enumerate(rows):
+        freq[i] = f_row
+        edp[i] = e_row
+        snm[i] = s_row
+        p_tot[i] = pt_row
+        p_stat[i] = ps_row
 
     return ExplorationGrid(vt=vt_grid, vdd=vdd_grid, frequency_hz=freq,
                            edp_j_s=edp, snm_v=snm, total_power_w=p_tot,

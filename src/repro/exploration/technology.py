@@ -43,11 +43,16 @@ class GNRFETTechnology:
 
     @classmethod
     def build(cls, geometry: GNRFETGeometry | None = None,
-              params: CircuitParameters | None = None) -> "GNRFETTechnology":
-        """Simulate (or fetch cached) nominal device data."""
+              params: CircuitParameters | None = None,
+              workers: int | None = None) -> "GNRFETTechnology":
+        """Simulate (or fetch cached) nominal device data.
+
+        ``workers`` fans the table's bias sweep across processes when the
+        table is not already cached (default from ``REPRO_WORKERS``).
+        """
         geometry = geometry or GNRFETGeometry()
         params = params or CircuitParameters()
-        table = build_device_table(geometry)
+        table = build_device_table(geometry, workers=workers)
         vt0 = extract_vt_linear(table.vg, table.current_a[:, 1],
                                 vd=float(table.vd[1]))
         return cls(ribbon_table=table, vt0=vt0, params=params,

@@ -41,7 +41,13 @@ class SCFOptions:
 
 @dataclass
 class SCFResult:
-    """Converged (or best-effort) state of the SCF loop."""
+    """Converged (or best-effort) state of the SCF loop.
+
+    ``charge`` is always the output of ``solve_charge(potential)`` for
+    the returned ``potential`` — on convergence it is recomputed from the
+    final potential, and on a best-effort return it is the last charge
+    evaluated, which by construction used the returned potential.
+    """
 
     potential: np.ndarray
     charge: np.ndarray
@@ -83,6 +89,11 @@ def self_consistent_loop(
         residual = float(np.max(np.abs(new_potential - potential)))
         residuals.append(residual)
         if residual < options.tolerance_ev:
+            # Recompute the charge from the returned potential: the loop
+            # variable still holds the charge of the *previous* potential,
+            # and SCFResult guarantees that ``potential`` and ``charge``
+            # describe the same self-consistent state.
+            charge = solve_charge(new_potential)
             return SCFResult(potential=new_potential, charge=charge,
                              converged=True, iterations=iteration,
                              residual_history=residuals)

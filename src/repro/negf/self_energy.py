@@ -21,11 +21,11 @@ from repro.errors import ConvergenceError
 
 
 def lead_self_energy_1d(
-    energy_ev: complex,
+    energy_ev: complex | np.ndarray,
     onsite_ev: float,
     hopping_ev: float,
     eta_ev: float = 1e-6,
-) -> complex:
+) -> complex | np.ndarray:
     """Retarded self-energy of a semi-infinite 1-D tight-binding lead.
 
     The lead has dispersion ``E(k) = onsite + 2 t cos(k a)`` with hopping
@@ -38,11 +38,18 @@ def lead_self_energy_1d(
     with the branch chosen so that ``Im g <= 0`` (retarded).  The
     self-energy on the channel site attached to the lead is
     ``sigma = t^2 g``.
+
+    ``energy_ev`` may be a scalar (returns a scalar) or an ndarray
+    (returns an elementwise ndarray); the vectorized path is what the
+    device layer's per-energy solves dispatch through.
     """
+    scalar_input = np.ndim(energy_ev) == 0
     t = float(hopping_ev)
     if t == 0.0:
-        return 0.0 + 0.0j
-    z = complex(energy_ev) + 1j * eta_ev - onsite_ev
+        if scalar_input:
+            return 0.0 + 0.0j
+        return np.zeros(np.shape(energy_ev), dtype=complex)
+    z = np.asarray(energy_ev, dtype=complex) + 1j * eta_ev - onsite_ev
     root = np.sqrt(z * z - 4.0 * t * t + 0j)
     g_plus = (z + root) / (2.0 * t * t)
     g_minus = (z - root) / (2.0 * t * t)
@@ -50,11 +57,14 @@ def lead_self_energy_1d(
     # the band both are almost real and the physical branch is the bounded
     # one (|g| <= 1/|t|).  Selecting the candidate with the more negative
     # imaginary part, breaking near-ties by magnitude, covers both cases.
-    if abs(g_plus.imag - g_minus.imag) > 1e-14:
-        g = g_minus if g_minus.imag < g_plus.imag else g_plus
-    else:
-        g = g_minus if abs(g_minus) <= abs(g_plus) else g_plus
-    return t * t * g
+    pick_minus = np.where(np.abs(g_plus.imag - g_minus.imag) > 1e-14,
+                          g_minus.imag < g_plus.imag,
+                          np.abs(g_minus) <= np.abs(g_plus))
+    g = np.where(pick_minus, g_minus, g_plus)
+    sigma = t * t * g
+    if scalar_input:
+        return complex(sigma)
+    return sigma
 
 
 def sancho_rubio_surface_gf(

@@ -1,0 +1,58 @@
+"""Shared execution substrate: process-pool sweeps + persistent caching.
+
+Every sweep layer in the repo — device ``I_D/Q(V_G, V_D)`` grids, the
+V_DD-V_T exploration plane, the ring-oscillator Monte Carlo — dispatches
+through :func:`repro.runtime.parallel.parallel_map`, and the expensive
+self-consistent device tables persist across processes through
+:class:`repro.runtime.cache.ArtifactCache`.
+
+Environment knobs
+-----------------
+``REPRO_WORKERS``
+    Default worker count for every sweep (overridden per-call by the
+    ``workers`` argument; ``<=1`` means serial).
+``REPRO_CACHE_DIR``
+    Cache root (default ``~/.cache/repro-gnrfet``).
+``REPRO_NO_CACHE``
+    Any non-empty value disables the on-disk cache.
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    NO_CACHE_ENV,
+    TABLE_ENGINE_VERSION,
+    ArtifactCache,
+    cache_enabled,
+    cache_root,
+    canonical_repr,
+    clear_all,
+    content_key,
+)
+from repro.runtime.parallel import (
+    WORKERS_ENV,
+    batch_indices,
+    default_chunk_size,
+    in_worker,
+    parallel_map,
+    resolve_workers,
+    spawn_seed_sequences,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_DIR_ENV",
+    "NO_CACHE_ENV",
+    "TABLE_ENGINE_VERSION",
+    "WORKERS_ENV",
+    "batch_indices",
+    "cache_enabled",
+    "cache_root",
+    "canonical_repr",
+    "clear_all",
+    "content_key",
+    "default_chunk_size",
+    "in_worker",
+    "parallel_map",
+    "resolve_workers",
+    "spawn_seed_sequences",
+]

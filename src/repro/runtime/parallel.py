@@ -1,0 +1,152 @@
+"""Process-pool execution substrate shared by every sweep in the repo.
+
+The paper's workflow is sweep-shaped at every layer: ``I_D/Q(V_G, V_D)``
+grids populate lookup tables (Sec. 3), the V_DD-V_T plane is explored
+cell-by-cell (Fig. 3), and variability is a 1000-sample Monte Carlo
+(Fig. 6).  Every cell of every one of those sweeps is independent, so
+they all dispatch through :func:`parallel_map` here.
+
+Design rules
+------------
+* **Deterministic ordering** — results come back in input order no
+  matter which worker finished first, so parallel sweeps are
+  bit-for-bit identical to serial ones.
+* **Serial fallback** — ``workers <= 1`` (the default when neither the
+  argument nor ``REPRO_WORKERS`` is set) runs a plain list
+  comprehension in-process: no pool, no pickling, easy debugging.
+* **Chunked dispatch** — items are shipped to workers in contiguous
+  chunks (default: ~4 chunks per worker) to amortize pickling overhead
+  while keeping the pool load-balanced.
+* **No nested pools** — worker processes see ``_REPRO_IN_WORKER`` in
+  their environment and resolve every inner ``workers=None`` to 1, so a
+  parallel Monte Carlo whose workers build device tables never
+  oversubscribes the machine.
+* **Reproducible randomness** — :func:`spawn_seed_sequences` derives one
+  independent child :class:`numpy.random.SeedSequence` per task from a
+  single root seed.  Because the spawn tree depends only on the root
+  seed and the task index (never on the worker partitioning), a Monte
+  Carlo run is bit-for-bit reproducible at any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable read when ``workers=None`` is passed.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set inside worker processes; forces inner ``workers=None`` to serial.
+_IN_WORKER_ENV = "_REPRO_IN_WORKER"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Priority: explicit argument > ``REPRO_WORKERS`` env var > 1 (serial).
+    Inside a worker process the answer is always 1 (no nested pools).
+    ``workers=0`` or negative counts clamp to serial.
+    """
+    if os.environ.get(_IN_WORKER_ENV):
+        return 1
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+    return max(1, int(workers))
+
+
+def in_worker() -> bool:
+    """True when executing inside a :func:`parallel_map` worker process."""
+    return bool(os.environ.get(_IN_WORKER_ENV))
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
+    """Worker-side chunk executor (module-level so it pickles)."""
+    os.environ[_IN_WORKER_ENV] = "1"
+    return [fn(item) for item in chunk]
+
+
+def default_chunk_size(n_items: int, workers: int,
+                       chunks_per_worker: int = 4) -> int:
+    """Chunk size giving ~``chunks_per_worker`` chunks per worker."""
+    return max(1, math.ceil(n_items / max(1, workers * chunks_per_worker)))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]`` across a process pool.
+
+    Results are returned in input order regardless of completion order.
+    ``fn`` and the items must be picklable when ``workers > 1`` (i.e.
+    ``fn`` must be a module-level function or a :func:`functools.partial`
+    of one).  The first worker exception propagates to the caller.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(items), workers)
+    chunks = [items[i:i + chunk_size]
+              for i in range(0, len(items), chunk_size)]
+
+    results: list[list[R] | None] = [None] * len(chunks)
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        future_index = {pool.submit(_run_chunk, fn, chunk): k
+                        for k, chunk in enumerate(chunks)}
+        done, not_done = wait(future_index, return_when=FIRST_EXCEPTION)
+        for future in not_done:
+            future.cancel()
+        for future in done:
+            results[future_index[future]] = future.result()  # raises here
+        for future in not_done:
+            if not future.cancelled():
+                results[future_index[future]] = future.result()
+    return [r for chunk in results for r in chunk]  # type: ignore[union-attr]
+
+
+def spawn_seed_sequences(seed: int, n_tasks: int
+                         ) -> list[np.random.SeedSequence]:
+    """One independent child :class:`~numpy.random.SeedSequence` per task.
+
+    The children depend only on ``(seed, task_index)``, so distributing
+    tasks over any number of workers (or running them serially) draws the
+    same random streams.
+    """
+    return np.random.SeedSequence(seed).spawn(n_tasks)
+
+
+def batch_indices(n_items: int, n_batches: int) -> list[range]:
+    """Split ``range(n_items)`` into ``n_batches`` contiguous ranges.
+
+    Earlier batches are at most one element longer; empty batches are
+    dropped.
+    """
+    n_batches = max(1, min(n_batches, n_items)) if n_items else 1
+    base, extra = divmod(n_items, n_batches)
+    ranges = []
+    start = 0
+    for b in range(n_batches):
+        size = base + (1 if b < extra else 0)
+        if size:
+            ranges.append(range(start, start + size))
+        start += size
+    return ranges

@@ -22,17 +22,33 @@ maps surrogate frequencies onto the transient scale; distribution shapes
 and mean shifts (the quantities Fig. 6 reports) are what the study
 asserts.  The surrogate is validated against direct transients in
 ``benchmarks/bench_ablation_estimators.py``.
+
+Parallel execution
+------------------
+Both expensive phases dispatch through :mod:`repro.runtime`: the variant
+ribbon tables are prefetched across worker processes, and the sample
+loop is batched across workers.  Every sample draws from its own
+generator spawned (``np.random.SeedSequence.spawn``) from the root seed
+by sample index, so a fixed seed gives bit-for-bit identical
+distributions at any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.circuit.ring_oscillator import simulate_ring_oscillator
 from repro.device.tables import DeviceTable
 from repro.exploration.technology import GNRFETTechnology
+from repro.runtime import (
+    batch_indices,
+    parallel_map,
+    resolve_workers,
+    spawn_seed_sequences,
+)
 from repro.variability.sampling import discretized_normal_choice
 from repro.variability.variants import DeviceVariant, variant_ribbon_table
 
@@ -74,6 +90,43 @@ class MonteCarloResult:
                      / self.nominal_dynamic_power_w - 1.0)
 
 
+def _ribbon_electricals(tech: GNRFETTechnology, offset: float, vdd: float,
+                        variant: DeviceVariant, polarity: int) -> dict:
+    """Electrical quantities of one ribbon (module-level so it pickles).
+
+    Builds (or fetches from the device-table cache) the variant ribbon
+    table and condenses it to the five linear-composable quantities the
+    stage-delay surrogate needs.
+    """
+    table = variant_ribbon_table(
+        variant, polarity, tech.geometry).with_gate_offset(offset)
+    vs = np.linspace(0.0, vdd, 21)
+    if polarity > 0:
+        caps = [sum(table.capacitances(float(v), vdd - float(v)))
+                for v in vs]
+    else:
+        caps = [sum(table.capacitances(vdd - float(v), float(v)))
+                for v in vs]
+    g_gate = float(np.trapezoid(caps, vs))
+    cgd_ends = (table.capacitances(0.0, vdd)[1]
+                + table.capacitances(vdd, 0.0)[1])
+    return {
+        "g_gate": g_gate,
+        "q_self": cgd_ends * vdd,
+        "i1": float(table.current(vdd, vdd)),
+        "i2": float(table.current(vdd, vdd / 2.0)),
+        "i_off": float(table.current(0.0, vdd)),
+    }
+
+
+def _ribbon_task(tech: GNRFETTechnology, offset: float, vdd: float,
+                 key: tuple[DeviceVariant, int]
+                 ) -> tuple[tuple[DeviceVariant, int], dict]:
+    """Prefetch task: one (variant, polarity) pair -> its electricals."""
+    variant, polarity = key
+    return key, _ribbon_electricals(tech, offset, vdd, variant, polarity)
+
+
 class _RibbonCache:
     """Per-(variant, polarity) electrical quantities of a single ribbon.
 
@@ -82,37 +135,34 @@ class _RibbonCache:
     are cheap sums at sampling time.
     """
 
-    def __init__(self, tech: GNRFETTechnology, vdd: float, vt: float):
+    def __init__(self, tech: GNRFETTechnology, vdd: float, vt: float,
+                 data: dict[tuple[DeviceVariant, int], dict] | None = None):
         self.tech = tech
         self.vdd = vdd
         self.offset = tech.gate_offset_for_vt(vt)
-        self._data: dict[tuple[DeviceVariant, int], dict] = {}
+        self._data: dict[tuple[DeviceVariant, int], dict] = dict(data or {})
 
     def ribbon(self, variant: DeviceVariant, polarity: int) -> dict:
         key = (variant, polarity)
         if key not in self._data:
-            table = variant_ribbon_table(
-                variant, polarity, self.tech.geometry).with_gate_offset(
-                    self.offset)
-            vdd = self.vdd
-            vs = np.linspace(0.0, vdd, 21)
-            if polarity > 0:
-                caps = [sum(table.capacitances(float(v), vdd - float(v)))
-                        for v in vs]
-            else:
-                caps = [sum(table.capacitances(vdd - float(v), float(v)))
-                        for v in vs]
-            g_gate = float(np.trapezoid(caps, vs))
-            cgd_ends = (table.capacitances(0.0, vdd)[1]
-                        + table.capacitances(vdd, 0.0)[1])
-            self._data[key] = {
-                "g_gate": g_gate,
-                "q_self": cgd_ends * vdd,
-                "i1": float(table.current(vdd, vdd)),
-                "i2": float(table.current(vdd, vdd / 2.0)),
-                "i_off": float(table.current(0.0, vdd)),
-            }
+            self._data[key] = _ribbon_electricals(
+                self.tech, self.offset, self.vdd, variant, polarity)
         return self._data[key]
+
+    def prefetch(self, variants: list[DeviceVariant],
+                 workers: int | None = None) -> None:
+        """Populate every (variant, polarity) entry, optionally fanning
+        the expensive table builds across worker processes."""
+        keys = [(v, pol) for v in dict.fromkeys(variants)
+                for pol in (+1, -1) if (v, pol) not in self._data]
+        for key, data in parallel_map(
+                partial(_ribbon_task, self.tech, self.offset, self.vdd),
+                keys, workers=workers):
+            self._data[key] = data
+
+    @property
+    def data(self) -> dict[tuple[DeviceVariant, int], dict]:
+        return self._data
 
     def device(self, ribbons: list[dict]) -> dict:
         """Linear composition of per-ribbon data into one device."""
@@ -159,6 +209,68 @@ def _surrogate_oscillator(stages: list[tuple[dict, dict]],
     return freq, energy_per_cycle * freq, p_stat
 
 
+def _draw_device(rng: np.random.Generator, cache: _RibbonCache,
+                 granularity: str, n_ribbons: int,
+                 width_levels, charge_levels,
+                 counts: dict[str, int], polarity: int) -> dict:
+    """Draw one device's ribbons and compose their electricals."""
+    if granularity == "ribbon":
+        ribbons = []
+        for _ in range(n_ribbons):
+            v = DeviceVariant(
+                n_index=discretized_normal_choice(rng, width_levels),
+                impurity_e=discretized_normal_choice(rng, charge_levels))
+            counts[v.label()] = counts.get(v.label(), 0) + 1
+            ribbons.append(cache.ribbon(v, polarity))
+        return cache.device(ribbons)
+    v = DeviceVariant(
+        n_index=discretized_normal_choice(rng, width_levels),
+        impurity_e=discretized_normal_choice(rng, charge_levels))
+    counts[v.label()] = counts.get(v.label(), 0) + 1
+    return cache.device([cache.ribbon(v, polarity)] * n_ribbons)
+
+
+def _evaluate_batch(
+    tech: GNRFETTechnology,
+    vdd: float,
+    vt: float,
+    n_stages: int,
+    width_levels,
+    charge_levels,
+    granularity: str,
+    ribbon_data: dict,
+    nominal: tuple[dict, dict],
+    seeds: list[np.random.SeedSequence],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, int]]:
+    """Evaluate one contiguous batch of samples (worker-side entry point).
+
+    Each sample owns a generator spawned from the root seed by sample
+    index, so results are independent of how samples are batched across
+    workers — ``workers=1`` and ``workers=4`` are bit-for-bit identical.
+    """
+    cache = _RibbonCache(tech, vdd, vt, data=ribbon_data)
+    n_ribbons = tech.params.n_ribbons
+    n = len(seeds)
+    freqs = np.empty(n)
+    p_dyns = np.empty(n)
+    p_stats = np.empty(n)
+    counts: dict[str, int] = {}
+    for k, seed_seq in enumerate(seeds):
+        rng = np.random.default_rng(seed_seq)
+        stages = [
+            (_draw_device(rng, cache, granularity, n_ribbons, width_levels,
+                          charge_levels, counts, +1),
+             _draw_device(rng, cache, granularity, n_ribbons, width_levels,
+                          charge_levels, counts, -1))
+            for _ in range(n_stages)]
+        f, p_dyn, p_stat = _surrogate_oscillator(stages, nominal, vdd,
+                                                 tech.params)
+        freqs[k] = f
+        p_dyns[k] = p_dyn
+        p_stats[k] = p_stat
+    return freqs, p_dyns, p_stats, counts
+
+
 def run_ring_oscillator_monte_carlo(
     tech: GNRFETTechnology,
     n_samples: int = 1000,
@@ -170,6 +282,7 @@ def run_ring_oscillator_monte_carlo(
     seed: int = 2008,
     granularity: str = "ribbon",
     calibrate_against_transient: bool = False,
+    workers: int | None = None,
 ) -> MonteCarloResult:
     """Fig. 6: sample width/impurity variations of every inverter.
 
@@ -181,15 +294,28 @@ def run_ring_oscillator_monte_carlo(
     ``calibrate_against_transient=True`` additionally runs one full
     nominal ring-oscillator transient and rescales all frequencies by the
     transient/surrogate ratio.
+
+    ``workers`` (default from ``REPRO_WORKERS``) fans both the variant
+    table builds and the sample batches across a process pool.  Every
+    sample draws from its own generator spawned from ``seed`` by sample
+    index, so the distributions are bit-for-bit identical at any worker
+    count.
     """
     if granularity not in ("ribbon", "device"):
         raise ValueError(f"granularity must be 'ribbon' or 'device', "
                          f"got {granularity!r}")
-    rng = np.random.default_rng(seed)
+    n_workers = resolve_workers(workers)
     cache = _RibbonCache(tech, vdd, vt)
     n_ribbons = tech.params.n_ribbons
 
+    # Prefetch every variant the discretized distributions can draw (the
+    # expensive part when tables are cold: fans across workers).
     nominal_variant = DeviceVariant()
+    reachable = [nominal_variant] + [
+        DeviceVariant(n_index=n, impurity_e=q)
+        for n in width_levels for q in charge_levels]
+    cache.prefetch(reachable, workers=workers)
+
     nom_n = cache.device([cache.ribbon(nominal_variant, +1)] * n_ribbons)
     nom_p = cache.device([cache.ribbon(nominal_variant, -1)] * n_ribbons)
     nominal = (nom_n, nom_p)
@@ -204,35 +330,24 @@ def run_ring_oscillator_monte_carlo(
                                            tech.params)
         calibration = metrics.frequency_hz / f_nom
 
+    seeds = spawn_seed_sequences(seed, n_samples)
+    eval_fn = partial(_evaluate_batch, tech, vdd, vt, n_stages,
+                      width_levels, charge_levels, granularity, cache.data,
+                      nominal)
+    if n_workers <= 1:
+        batches = [seeds]
+    else:
+        batches = [seeds[r.start:r.stop]
+                   for r in batch_indices(n_samples, n_workers * 4)]
+    results = parallel_map(eval_fn, batches, workers=workers, chunk_size=1)
+
+    freqs = np.concatenate([r[0] for r in results])
+    p_dyns = np.concatenate([r[1] for r in results])
+    p_stats = np.concatenate([r[2] for r in results])
     counts: dict[str, int] = {}
-
-    def draw_device(polarity: int) -> dict:
-        if granularity == "ribbon":
-            ribbons = []
-            for _ in range(n_ribbons):
-                v = DeviceVariant(
-                    n_index=discretized_normal_choice(rng, width_levels),
-                    impurity_e=discretized_normal_choice(rng, charge_levels))
-                counts[v.label()] = counts.get(v.label(), 0) + 1
-                ribbons.append(cache.ribbon(v, polarity))
-            return cache.device(ribbons)
-        v = DeviceVariant(
-            n_index=discretized_normal_choice(rng, width_levels),
-            impurity_e=discretized_normal_choice(rng, charge_levels))
-        counts[v.label()] = counts.get(v.label(), 0) + 1
-        return cache.device([cache.ribbon(v, polarity)] * n_ribbons)
-
-    freqs = np.empty(n_samples)
-    p_dyns = np.empty(n_samples)
-    p_stats = np.empty(n_samples)
-    for s in range(n_samples):
-        stages = [(draw_device(+1), draw_device(-1))
-                  for _ in range(n_stages)]
-        f, p_dyn, p_stat = _surrogate_oscillator(stages, nominal, vdd,
-                                                 tech.params)
-        freqs[s] = f
-        p_dyns[s] = p_dyn
-        p_stats[s] = p_stat
+    for r in results:
+        for label, c in r[3].items():
+            counts[label] = counts.get(label, 0) + c
 
     return MonteCarloResult(
         frequencies_hz=freqs * calibration,

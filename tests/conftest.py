@@ -7,6 +7,8 @@ by geometry means variant tables built by one test are reused by others.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,26 @@ from repro.circuit.inverter import CircuitParameters
 from repro.device.geometry import GNRFETGeometry
 from repro.device.tables import DeviceTable, build_device_table
 from repro.exploration.technology import GNRFETTechnology
+from repro.runtime import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache_dir(tmp_path_factory):
+    """Point the runtime disk cache at a per-session temp directory.
+
+    Test runs must never reuse stale artifacts from (or pollute) the
+    user-level ``~/.cache/repro-gnrfet`` store; within the session the
+    temp store still exercises the persistent-cache code paths and lets
+    parallel workers share tables.
+    """
+    path = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(path)
+    yield path
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture(scope="session")
