@@ -1,0 +1,52 @@
+"""Baseline files: accepted findings carried across refactors.
+
+A baseline is a JSON document mapping line-independent finding keys
+(``path::code::message``) to occurrence counts.  ``run_analysis``
+consumes matching findings against those counts, so a legacy violation
+can be grandfathered without a ``noqa`` comment while every *new*
+occurrence of the same rule still fails the build.
+
+This repo's own policy is an **empty baseline** — violations get fixed,
+not recorded — but the mechanism is load-bearing for adopting new rules
+incrementally.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename probed in the working directory.
+DEFAULT_BASELINE_NAME = ".repro-analysis-baseline.json"
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file into a ``{finding_key: count}`` budget."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or \
+            document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline format in {path} "
+            f"(expected version {BASELINE_VERSION})")
+    entries = document.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline entries must be an object in {path}")
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline accepting ``findings``; returns the entry count."""
+    budget: dict[str, int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        budget[key] = budget.get(key, 0) + 1
+    document = {"version": BASELINE_VERSION,
+                "entries": dict(sorted(budget.items()))}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")
+    return sum(budget.values())

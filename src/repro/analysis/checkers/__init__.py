@@ -1,0 +1,37 @@
+"""Checker registry: one instance of every rule family."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.checkers.contracts import ContractsChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.layering import LayeringChecker
+from repro.analysis.checkers.units import UnitsChecker
+
+__all__ = [
+    "Checker",
+    "ContractsChecker",
+    "DeterminismChecker",
+    "LayeringChecker",
+    "UnitsChecker",
+    "all_codes",
+    "default_checkers",
+]
+
+
+def default_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, in report order."""
+    return [DeterminismChecker(), UnitsChecker(), LayeringChecker(),
+            ContractsChecker()]
+
+
+def all_codes() -> dict[str, str]:
+    """Every known code -> description, including the engine's own."""
+    from repro.analysis.engine import PARSE_ERROR_CODE
+
+    codes: dict[str, str] = {
+        PARSE_ERROR_CODE: "file cannot be parsed/analysed",
+    }
+    for checker in default_checkers():
+        codes.update(checker.codes)
+    return dict(sorted(codes.items()))

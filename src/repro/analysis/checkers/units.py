@@ -1,0 +1,85 @@
+"""RPA2xx — units: raw physical-constant literals.
+
+Every physical constant the library needs has one canonical, documented
+home: :mod:`repro.constants`.  A raw ``1.602e-19`` scattered in a kernel
+is a silent unit bug waiting to happen — it drifts from the CODATA value,
+it hides the unit convention, and it cannot be audited.  ``RPA201``
+matches float literals against the canonical table (within 0.5 %
+relative tolerance, so truncated copies like ``8.85e-12`` are caught
+too) and points at the :mod:`repro.constants` symbol to use instead.
+
+Integer literals never match (a ``300``-point grid is not a
+temperature); ``repro/constants.py`` itself and the analysis package are
+exempt.  Genuine data coincidences (a 2.7 GHz calibration figure is not
+the 2.7 eV hopping energy) are suppressed in place with
+``# repro: noqa[RPA201]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.findings import Finding
+
+#: Canonical value -> repro.constants symbol.  Values are matched with
+#: _REL_TOL so truncated copies (1.602e-19, 0.0259) resolve to the same
+#: symbol as full-precision ones.
+CANONICAL_CONSTANTS: dict[float, str] = {
+    1.602176634e-19: "Q_E",
+    1.380649e-23: "K_B_SI",
+    6.62607015e-34: "PLANCK_H",
+    1.0545718176461565e-34: "HBAR_SI",
+    8.8541878128e-12: "EPS_0",
+    9.1093837015e-31: "M_E",
+    8.617333262e-5: "K_B_EV",
+    0.02585199101165144: "KT_ROOM_EV",
+    2.7: "T_HOPPING_EV",
+    0.142: "A_CC_NM",
+    0.24595121467478056: "A_LATTICE_NM",
+    0.426: "ARMCHAIR_PERIOD_NM",
+    3.9: "EPS_SIO2",
+    300.0: "ROOM_TEMPERATURE_K",
+}
+
+_REL_TOL = 5e-3
+
+#: Packages whose float literals are never physics (the lint tooling
+#: itself carries the canonical table as data).
+_EXEMPT_PACKAGES = frozenset({"constants", "analysis"})
+
+
+def match_constant(value: float) -> str | None:
+    """Return the repro.constants symbol ``value`` duplicates, if any."""
+    for canonical, symbol in CANONICAL_CONSTANTS.items():
+        if abs(value - canonical) <= _REL_TOL * abs(canonical):
+            return symbol
+    return None
+
+
+class UnitsChecker(Checker):
+    codes = {
+        "RPA201": "raw physical-constant literal duplicates a "
+                  "repro.constants symbol; import it instead",
+    }
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        if module.package in _EXEMPT_PACKAGES:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            if not isinstance(node.value, float):
+                continue
+            symbol = match_constant(node.value)
+            if symbol is None:
+                continue
+            findings.append(self.finding(
+                module, node, "RPA201",
+                f"raw literal {node.value!r} duplicates the physical "
+                f"constant repro.constants.{symbol}; import and use the "
+                "named constant",
+                symbol=symbol))
+        return findings

@@ -1,0 +1,81 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.checkers import all_codes
+from repro.analysis.engine import run_analysis
+from repro.analysis.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Physics-aware static analysis for the repro tree "
+                    "(determinism RPA1xx, units RPA2xx, layering RPA3xx, "
+                    "API contracts RPA4xx)")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyse "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline file of accepted findings "
+                             f"(default: {DEFAULT_BASELINE_NAME} if it "
+                             "exists)")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="accept all current findings into FILE and "
+                             "exit 0")
+    parser.add_argument("--list-codes", action="store_true",
+                        help="list every rule code and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None,
+         args: argparse.Namespace | None = None) -> int:
+    """Run the linter; ``args`` lets ``repro lint`` pass a parsed namespace."""
+    if args is None:
+        args = build_parser().parse_args(argv)
+
+    if args.list_codes:
+        for code, description in all_codes().items():
+            print(f"{code}  {description}")
+        return 0
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE_NAME).is_file() \
+            and args.write_baseline is None:
+        baseline_path = DEFAULT_BASELINE_NAME
+    if baseline_path is not None and args.write_baseline is None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_analysis(args.paths, baseline=baseline)
+
+    if args.write_baseline is not None:
+        n = write_baseline(args.write_baseline, report.findings)
+        print(f"wrote {n} accepted finding(s) to {args.write_baseline}")
+        return 0
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import sanitize
 from repro.circuit.netlist import Circuit, GROUND
 from repro.errors import ConvergenceError
 
 
-@dataclass
+@dataclass(frozen=True)
 class DCResult:
     """Converged DC solution.
 
@@ -121,6 +122,8 @@ def solve_dc(
     v_sol, iters, ok = _newton(circuit, v, free, gmin, tol_a,
                                max_iter, damping_v)
     if ok:
+        if sanitize.ACTIVE:
+            sanitize.check_finite(v_sol, "solve_dc", "node voltages")
         return DCResult(circuit=circuit, voltages=v_sol, iterations=iters)
 
     # Source stepping from zero bias.
@@ -142,4 +145,6 @@ def solve_dc(
                 raise ConvergenceError(
                     f"DC source stepping failed at {frac:.0%} of supply",
                     iterations=total_iters)
+    if sanitize.ACTIVE:
+        sanitize.check_finite(v, "solve_dc", "node voltages")
     return DCResult(circuit=circuit, voltages=v, iterations=total_iters)

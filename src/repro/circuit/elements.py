@@ -39,7 +39,8 @@ class Resistor:
         self.nodes = (n1, n2)
         self.resistance_ohm = float(resistance_ohm)
 
-    def stamp_static(self, v, f, jac) -> None:
+    def stamp_static(self, v: np.ndarray, f: np.ndarray,
+                     jac: np.ndarray | None) -> None:
         n1, n2 = self.nodes
         g = 1.0 / self.resistance_ohm
         i = g * (voltage_at(v, n1) - voltage_at(v, n2))
@@ -50,7 +51,7 @@ class Resistor:
         _add_jac(jac, n2, n1, -g)
         _add_jac(jac, n2, n2, g)
 
-    def capacitor_stamps(self, v):
+    def capacitor_stamps(self, v: np.ndarray) -> list[tuple[int, int, float]]:
         return []
 
 
@@ -63,10 +64,11 @@ class Capacitor:
         self.nodes = (n1, n2)
         self.capacitance_f = float(capacitance_f)
 
-    def stamp_static(self, v, f, jac) -> None:
+    def stamp_static(self, v: np.ndarray, f: np.ndarray,
+                     jac: np.ndarray | None) -> None:
         return None
 
-    def capacitor_stamps(self, v):
+    def capacitor_stamps(self, v: np.ndarray) -> list[tuple[int, int, float]]:
         return [(self.nodes[0], self.nodes[1], self.capacitance_f)]
 
 
@@ -77,11 +79,12 @@ class CurrentSource:
         self.nodes = (n_from, n_to)
         self.current_a = float(current_a)
 
-    def stamp_static(self, v, f, jac) -> None:
+    def stamp_static(self, v: np.ndarray, f: np.ndarray,
+                     jac: np.ndarray | None) -> None:
         _add_current(f, self.nodes[0], self.current_a)
         _add_current(f, self.nodes[1], -self.current_a)
 
-    def capacitor_stamps(self, v):
+    def capacitor_stamps(self, v: np.ndarray) -> list[tuple[int, int, float]]:
         return []
 
 
@@ -121,7 +124,8 @@ class TableFET:
         vds = voltage_at(v, d) - voltage_at(v, s)
         return vgs, vds
 
-    def stamp_static(self, v, f, jac) -> None:
+    def stamp_static(self, v: np.ndarray, f: np.ndarray,
+                     jac: np.ndarray | None) -> None:
         d, g, s = self.nodes
         vgs, vds = self._bias(v)
         p = self.polarity
@@ -141,7 +145,7 @@ class TableFET:
         _add_jac(jac, s, g, -di_dvgs)
         _add_jac(jac, s, s, di_dvds + di_dvgs)
 
-    def capacitor_stamps(self, v):
+    def capacitor_stamps(self, v: np.ndarray) -> list[tuple[int, int, float]]:
         d, g, s = self.nodes
         vgs, vds = self._bias(v)
         p = self.polarity
@@ -151,7 +155,7 @@ class TableFET:
             (g, d, float(cgd_i) + self.c_par_gd_f),
         ]
 
-    def current(self, v) -> float:
+    def current(self, v: np.ndarray) -> float:
         """Drain-to-source channel current at node voltages ``v``."""
         vgs, vds = self._bias(v)
         p = self.polarity
@@ -181,7 +185,8 @@ class CompactMOSFET:
         vds = voltage_at(v, d) - voltage_at(v, s)
         return vgs, vds
 
-    def stamp_static(self, v, f, jac) -> None:
+    def stamp_static(self, v: np.ndarray, f: np.ndarray,
+                     jac: np.ndarray | None) -> None:
         d, g, s = self.nodes
         vgs, vds = self._bias(v)
         p = self.polarity
@@ -198,14 +203,14 @@ class CompactMOSFET:
         _add_jac(jac, s, g, -di_dvgs)
         _add_jac(jac, s, s, di_dvds + di_dvgs)
 
-    def capacitor_stamps(self, v):
+    def capacitor_stamps(self, v: np.ndarray) -> list[tuple[int, int, float]]:
         d, g, s = self.nodes
         vgs, vds = self._bias(v)
         p = self.polarity
         cgs, cgd = self.model.capacitances(p * vgs, p * vds)
         return [(g, s, float(cgs)), (g, d, float(cgd))]
 
-    def current(self, v) -> float:
+    def current(self, v: np.ndarray) -> float:
         vgs, vds = self._bias(v)
         p = self.polarity
         i, _, _ = self.model.ids(p * vgs, p * vds)

@@ -29,7 +29,7 @@ from repro.device.tables import DeviceTable
 from repro.errors import AnalysisError
 
 
-@dataclass
+@dataclass(frozen=True)
 class GateMetrics:
     """Characterization of one two-input gate."""
 

@@ -74,7 +74,7 @@ class CircuitParameters:
         return self.c_parasitic_af_per_nm * 1e-18 * self.contact_width_nm
 
 
-@dataclass
+@dataclass(frozen=True)
 class InverterMetrics:
     """Characterization output of one inverter configuration."""
 

@@ -83,7 +83,7 @@ class Circuit:
         raise CircuitError(f"unknown node index {index}")
 
     # --- construction -----------------------------------------------------------
-    def add(self, element) -> None:
+    def add(self, element: Element) -> None:
         """Add an element (anything satisfying the Element protocol)."""
         self.elements.append(element)
 

@@ -38,7 +38,7 @@ from repro.device.tables import DeviceTable
 from repro.errors import AnalysisError
 
 
-@dataclass
+@dataclass(frozen=True)
 class RingOscillatorMetrics:
     """Measured (or estimated) oscillator figures of merit.
 

@@ -21,11 +21,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import sanitize
 from repro.circuit.netlist import Circuit, GROUND, voltage_at
 from repro.errors import ConvergenceError
 
 
-@dataclass
+@dataclass(frozen=True)
 class TransientResult:
     """Waveforms of a transient run.
 
@@ -219,6 +220,9 @@ def simulate_transient(
         t += h
         v = v_new
         i_cap = i_cap_new
+        if sanitize.ACTIVE:
+            sanitize.check_finite(v, "simulate_transient",
+                                  f"node voltages at t={t:.6g} s")
         first_step = False
         times.append(t)
         traj.append(v.copy())

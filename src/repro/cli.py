@@ -4,14 +4,18 @@ Usage::
 
     repro list
     repro run fig4 [--fast] [--out report.txt] [--workers 4] [--no-cache]
-    repro run all [--fast]
+    repro run all [--fast] [--sanitize]
+    repro lint [paths ...] [--format json] [--baseline FILE]
     repro cache info
     repro cache clear
 
 ``--workers`` and ``--no-cache`` configure the shared execution runtime
 (:mod:`repro.runtime`) by exporting ``REPRO_WORKERS`` /
 ``REPRO_NO_CACHE`` for the process, so every sweep the experiment
-touches picks them up.
+touches picks them up.  ``--sanitize`` (or ``REPRO_SANITIZE=1``)
+switches on the numerical sanitizer of :mod:`repro.sanitize` for the
+run, and ``repro lint`` is the static analysis front end of
+:mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -22,6 +26,9 @@ import sys
 import time
 from pathlib import Path
 
+from repro import sanitize
+from repro.analysis.cli import build_parser as build_lint_parser
+from repro.analysis.cli import main as lint_main
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
 from repro.runtime import NO_CACHE_ENV, WORKERS_ENV, ArtifactCache, cache_root
 
@@ -40,6 +47,8 @@ def _apply_runtime_flags(args) -> None:
         os.environ[WORKERS_ENV] = str(args.workers)
     if getattr(args, "no_cache", False):
         os.environ[NO_CACHE_ENV] = "1"
+    if getattr(args, "sanitize", False):
+        sanitize.enable()
 
 
 def _cmd_run(args) -> int:
@@ -51,9 +60,9 @@ def _cmd_run(args) -> int:
             print(f"unknown experiment {target!r}; try 'repro list'",
                   file=sys.stderr)
             return 2
-        start = time.time()
+        start = time.perf_counter()
         report, _ = run_experiment(target, fast=args.fast)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         banner = f"=== {target} ({elapsed:.1f} s) ==="
         reports.append(banner + "\n" + report)
         print(banner)
@@ -63,6 +72,10 @@ def _cmd_run(args) -> int:
         Path(args.out).write_text("\n\n".join(reports) + "\n")
         print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    return lint_main(args=args)
 
 
 def _cmd_cache(args) -> int:
@@ -101,7 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default: ${WORKERS_ENV} or serial)")
     p_run.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk device-table cache")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="enable the numerical sanitizer "
+                            "(equivalent to REPRO_SANITIZE=1)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", parents=[build_lint_parser()], add_help=False,
+        help="physics-aware static analysis of the repro tree")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_cache = sub.add_parser("cache",
                              help="inspect or clear the on-disk cache")

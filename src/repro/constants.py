@@ -19,6 +19,11 @@ lattice constants follow the values used by the paper (p_z hopping of
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import numpy as np
+
 import math
 
 # --- Fundamental constants (SI) -------------------------------------------
@@ -111,7 +116,8 @@ def thermal_energy_ev(temperature_k: float) -> float:
     return K_B_EV * temperature_k
 
 
-def fermi_dirac(energy_ev, mu_ev: float, kt_ev: float = KT_ROOM_EV):
+def fermi_dirac(energy_ev: float | np.ndarray, mu_ev: float,
+                kt_ev: float = KT_ROOM_EV) -> float | np.ndarray:
     """Fermi-Dirac occupation f(E) for energies in eV.
 
     Implemented in an overflow-safe way so it can be evaluated on numpy

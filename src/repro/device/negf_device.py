@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import sanitize
 from repro.constants import (
     HBAR_SI,
     LANDAUER_PREFACTOR_A_PER_EV,
@@ -125,12 +126,20 @@ def _scalar_chain_rgf(
     transmission = gamma_left * gamma_right * np.abs(last_col[:, 0]) ** 2
     spectral_source = (np.abs(first_col) ** 2) * gamma_left[:, None]
     spectral_drain = (np.abs(last_col) ** 2) * gamma_right[:, None]
+    if sanitize.ACTIVE:
+        op = "_scalar_chain_rgf"
+        sanitize.check_transmission(transmission, 1.0, op,
+                                    energies_ev=energies)
+        sanitize.check_finite(spectral_source, op, "A_source",
+                              energies_ev=energies)
+        sanitize.check_finite(spectral_drain, op, "A_drain",
+                              energies_ev=energies)
     return _ChainRGFOutput(transmission=transmission,
                            spectral_source=spectral_source,
                            spectral_drain=spectral_drain)
 
 
-@dataclass
+@dataclass(frozen=True)
 class NEGFDeviceResult:
     """Converged solution of one bias point.
 
@@ -346,6 +355,16 @@ class NEGFDevice:
         scf = self_consistent_loop(solve_charge, solve_potential, u0, options)
 
         u = scf.potential
+        if sanitize.ACTIVE:
+            op = "NEGFDevice.solve"
+            bias = sanitize.format_bias(vg=vg, vd=vd)
+            sanitize.check_finite(np.asarray(state["current"]), op,
+                                  "drain current", bias=bias)
+            sanitize.check_finite(state["n"], op,
+                                  "electron density", bias=bias)
+            sanitize.check_finite(state["p"], op,
+                                  "hole density", bias=bias)
+            sanitize.check_finite(u, op, "midgap profile", bias=bias)
         edge = self.modes[0].edge_ev
         return NEGFDeviceResult(
             vg=vg, vd=vd, current_a=float(state["current"]),

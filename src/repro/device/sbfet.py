@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import sanitize
 from repro.constants import (
     HBAR_SI,
     LANDAUER_PREFACTOR_A_PER_EV,
@@ -60,7 +61,7 @@ class BiasPoint:
     vd: float
 
 
-@dataclass
+@dataclass(frozen=True)
 class SBFETSolution:
     """Self-consistent solution of one bias point (one ribbon).
 
@@ -328,6 +329,10 @@ class SBFETModel:
                 t_h = t_h * self._well_factor(
                     -(e[:, 0] - u_interior), edge, hv, well_h)
             total += np.maximum(t_e, t_h)
+        if sanitize.ACTIVE:
+            sanitize.check_transmission(total, len(self.modes),
+                                        "SBFETModel.transmission",
+                                        energies_ev=e[:, 0])
         return total
 
     @staticmethod
@@ -392,11 +397,19 @@ class SBFETModel:
         """Solve one bias point self-consistently and return all outputs."""
         u_ch, iterations = self.solve_midgap_ev(vg, vd)
         n, p = self._densities_at_level(np.array([u_ch]), 0.0, -vd)
+        current = self.current_a(u_ch, vd)
+        charge = self.channel_charge_c(u_ch, vd)
+        if sanitize.ACTIVE:
+            op = "SBFETModel.solve_bias"
+            bias = sanitize.format_bias(vg=vg, vd=vd)
+            sanitize.check_finite(np.array([u_ch, current, charge,
+                                            n[0], p[0]]),
+                                  op, "bias-point solution", bias=bias)
         return SBFETSolution(
             bias=BiasPoint(vg=vg, vd=vd),
             midgap_ev=u_ch,
-            current_a=self.current_a(u_ch, vd),
-            charge_c=self.channel_charge_c(u_ch, vd),
+            current_a=current,
+            charge_c=charge,
             electron_linear_density_per_nm=float(n[0]),
             hole_linear_density_per_nm=float(p[0]),
             iterations=iterations,

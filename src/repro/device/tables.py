@@ -215,7 +215,8 @@ class DeviceTable:
         return (self._uniform and isinstance(vgs, (int, float))
                 and isinstance(vds, (int, float)))
 
-    def current(self, vgs, vds):
+    def current(self, vgs: float | np.ndarray,
+                vds: float | np.ndarray) -> float | np.ndarray:
         """Drain current (A) at arbitrary bias, bilinear interpolation."""
         if self._is_scalar_query(vgs, vds):
             i, _, _ = self.current_and_derivatives(vgs, vds)
@@ -224,7 +225,10 @@ class DeviceTable:
         value, _, _ = _bilinear(self.vg, self.vd, self.current_a, vg_i, vd_i)
         return sign * value
 
-    def current_and_derivatives(self, vgs, vds):
+    def current_and_derivatives(
+        self, vgs: float | np.ndarray, vds: float | np.ndarray,
+    ) -> tuple[float | np.ndarray, float | np.ndarray,
+               float | np.ndarray]:
         """``(I, dI/dV_GS, dI/dV_DS)`` with derivatives consistent with
         the mirroring rule (used by the circuit Newton solver)."""
         if self._is_scalar_query(vgs, vds):
@@ -247,7 +251,8 @@ class DeviceTable:
         di_dvds = np.where(sign > 0, d_dvd, d_dvg + d_dvd)
         return sign * value, di_dvgs, di_dvds
 
-    def charge(self, vgs, vds):
+    def charge(self, vgs: float | np.ndarray,
+               vds: float | np.ndarray) -> float | np.ndarray:
         """Channel charge (C) at arbitrary bias."""
         if self._is_scalar_query(vgs, vds):
             vgs = float(vgs)
@@ -261,7 +266,9 @@ class DeviceTable:
         value, _, _ = _bilinear(self.vg, self.vd, self.charge_c, vg_i, vd_i)
         return value
 
-    def capacitances(self, vgs, vds):
+    def capacitances(
+        self, vgs: float | np.ndarray, vds: float | np.ndarray,
+    ) -> tuple[float | np.ndarray, float | np.ndarray]:
         """Intrinsic ``(C_GS,i, C_GD,i)`` in farads at a bias point.
 
         Following the paper: ``C_GD,i = |dQ/dV_DS|``,
@@ -286,7 +293,8 @@ class DeviceTable:
         cgs = np.clip(np.abs(dq_dvg) - cgd, 0.0, None)
         return cgs, cgd
 
-    def check_range(self, vgs, vds) -> None:
+    def check_range(self, vgs: float | np.ndarray,
+                    vds: float | np.ndarray) -> None:
         """Raise :class:`TableRangeError` if a query needs extrapolation."""
         vg_i, vd_i, _ = self._map_bias(vgs, vds)
         if np.any(vg_i < self.vg[0] - 1e-9) or np.any(vg_i > self.vg[-1] + 1e-9):

@@ -44,3 +44,33 @@ class CircuitError(ReproError):
 class AnalysisError(ReproError):
     """A post-processing step could not extract the requested quantity
     (e.g. no oscillation detected when measuring ring-oscillator frequency)."""
+
+
+class SanitizerError(ReproError):
+    """A numerical invariant was violated in an instrumented hot path.
+
+    Raised only when the opt-in sanitizer (:mod:`repro.sanitize`) is
+    active.  The attributes identify exactly where physics went wrong so
+    a poisoned sweep can be traced to one operator at one energy point of
+    one bias point.
+
+    Attributes
+    ----------
+    operator:
+        Name of the instrumented kernel (e.g. ``"recursive_greens_function"``).
+    quantity:
+        The checked quantity (e.g. ``"G^r diagonal block 3"``).
+    energy_ev:
+        Energy point at which the invariant failed, if applicable.
+    bias:
+        Human-readable bias description (e.g. ``"VG=0.4 V, VD=0.5 V"``).
+    """
+
+    def __init__(self, message: str, operator: str | None = None,
+                 quantity: str | None = None, energy_ev: float | None = None,
+                 bias: str | None = None):
+        super().__init__(message)
+        self.operator = operator
+        self.quantity = quantity
+        self.energy_ev = energy_ev
+        self.bias = bias

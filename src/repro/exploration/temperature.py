@@ -19,6 +19,7 @@ from repro.circuit.inverter import (
     estimate_inverter_delay,
     inverter_static_power_w,
 )
+from repro.constants import ROOM_TEMPERATURE_K
 from repro.device.geometry import GNRFETGeometry
 from repro.device.tables import build_device_table
 from repro.device.vt_extraction import extract_vt_linear
@@ -38,7 +39,8 @@ class TemperaturePoint:
 
 def temperature_study(
     base_geometry: GNRFETGeometry | None = None,
-    temperatures_k: tuple[float, ...] = (250.0, 300.0, 350.0, 400.0),
+    temperatures_k: tuple[float, ...] = (
+        250.0, ROOM_TEMPERATURE_K, 350.0, 400.0),
     params: CircuitParameters | None = None,
     vdd: float = 0.4,
     vt_target: float = 0.13,

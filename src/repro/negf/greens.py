@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import sanitize
+
 
 def dense_retarded_gf(
     energy_ev: float,
@@ -39,16 +41,23 @@ def dense_retarded_gf(
     except on the first / last block); pass ``None`` for a closed boundary.
     """
     h = np.asarray(hamiltonian, dtype=complex)
+    if sanitize.ACTIVE:
+        sanitize.check_hermitian(h, "dense_retarded_gf", "H",
+                                 energy_ev=energy_ev)
     n = h.shape[0]
     a = (energy_ev + 1j * eta_ev) * np.eye(n, dtype=complex) - h
     if sigma_left is not None:
         a = a - sigma_left
     if sigma_right is not None:
         a = a - sigma_right
-    return np.linalg.solve(a, np.eye(n, dtype=complex))
+    gf = np.linalg.solve(a, np.eye(n, dtype=complex))
+    if sanitize.ACTIVE:
+        sanitize.check_finite(gf, "dense_retarded_gf", "G^r",
+                              energy_ev=energy_ev)
+    return gf
 
 
-@dataclass
+@dataclass(frozen=True)
 class RGFResult:
     """Output of one RGF pass at a single energy.
 
@@ -110,6 +119,12 @@ def recursive_greens_function(
         raise ValueError(
             f"expected {n_blocks - 1} coupling blocks, got {len(coupling_blocks)}")
 
+    if sanitize.ACTIVE:
+        for i, block in enumerate(diagonal_blocks):
+            sanitize.check_hermitian(
+                np.asarray(block), "recursive_greens_function", f"H_{i}{i}",
+                energy_ev=energy_ev)
+
     z = energy_ev + 1j * eta_ev
 
     def a_block(i: int) -> np.ndarray:
@@ -168,6 +183,27 @@ def recursive_greens_function(
     g_1n = last_col[0]
     t_matrix = gamma_left @ g_1n @ gamma_right @ g_1n.conj().T
     transmission = float(np.real(np.trace(t_matrix)))
+
+    if sanitize.ACTIVE:
+        op = "recursive_greens_function"
+        for i in range(n_blocks):
+            sanitize.check_finite(diag[i], op, f"G^r_{i}{i}",
+                                  energy_ev=energy_ev)
+        sanitize.check_finite(first_col[n_blocks - 1], op, "G^r_N1",
+                              energy_ev=energy_ev)
+        sanitize.check_finite(g_1n, op, "G^r_1N", energy_ev=energy_ev)
+        max_channels = min(sigma_left.shape[0], sigma_right.shape[0])
+        sanitize.check_transmission(transmission, max_channels, op,
+                                    energy_ev=energy_ev)
+        # Reciprocity Tr[G_L G G_R G^dag] = Tr[G_R G G_L G^dag] is the
+        # energy-resolved statement of terminal current conservation.
+        g_n1 = first_col[n_blocks - 1]
+        t_reverse = float(np.real(np.trace(
+            gamma_right @ g_n1 @ gamma_left @ g_n1.conj().T)))
+        sanitize.check_current_conservation(
+            transmission, t_reverse, op,
+            quantity="left/right transmission reciprocity",
+            rtol=1e-6, atol=1e-10, energy_ev=energy_ev)
 
     return RGFResult(
         diagonal=[np.asarray(d) for d in diag],

@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import sanitize
 from repro.errors import ConvergenceError
 from repro.negf.mixing import AndersonMixer, LinearMixer
 
@@ -39,7 +40,7 @@ class SCFOptions:
         return AndersonMixer(beta=0.3, history=5)
 
 
-@dataclass
+@dataclass(frozen=True)
 class SCFResult:
     """Converged (or best-effort) state of the SCF loop.
 
@@ -79,6 +80,9 @@ def self_consistent_loop(
     potential = np.asarray(initial_potential, dtype=float).copy()
     shape = potential.shape
     charge = solve_charge(potential)
+    if sanitize.ACTIVE:
+        sanitize.check_finite(charge, "self_consistent_loop",
+                              "charge density (initial)")
     residuals: list[float] = []
 
     for iteration in range(1, options.max_iterations + 1):
@@ -100,6 +104,12 @@ def self_consistent_loop(
         potential = mixer.update(potential.ravel(),
                                  new_potential.ravel()).reshape(shape)
         charge = solve_charge(potential)
+        if sanitize.ACTIVE:
+            op = "self_consistent_loop"
+            sanitize.check_finite(
+                potential, op, f"potential (iteration {iteration})")
+            sanitize.check_finite(
+                charge, op, f"charge density (iteration {iteration})")
 
     if options.raise_on_failure:
         raise ConvergenceError(

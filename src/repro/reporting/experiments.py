@@ -15,6 +15,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.circuit.inverter import inverter_snm
+from repro.constants import ROOM_TEMPERATURE_K
 from repro.device.geometry import ChargeImpurity, GNRFETGeometry
 from repro.device.iv import sweep_iv
 from repro.device.negf_device import NEGFDevice
@@ -375,7 +376,8 @@ def run_ext_temperature(fast: bool = False) -> tuple[str, dict]:
         temperature_study,
     )
 
-    temps = (300.0, 400.0) if fast else (250.0, 300.0, 350.0, 400.0)
+    temps = ((ROOM_TEMPERATURE_K, 400.0) if fast
+             else (250.0, ROOM_TEMPERATURE_K, 350.0, 400.0))
     points = temperature_study(temperatures_k=temps)
     e_a = leakage_activation_energy_ev(points)
     rows = [[f"{p.temperature_k:.0f}", f"{p.i_min_a * 1e9:.2f}",

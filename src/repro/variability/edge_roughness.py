@@ -66,11 +66,18 @@ def roughness_ensemble(
     n_samples: int = 12,
     seed: int = 17,
     energy_ev: float | None = None,
+    rng: np.random.Generator | None = None,
 ) -> RoughnessStatistics:
-    """Ensemble-average first-plateau transmission under edge roughness."""
+    """Ensemble-average first-plateau transmission under edge roughness.
+
+    Pass an explicit ``rng`` to control the stream (e.g. from a
+    spawned :class:`~numpy.random.SeedSequence`); ``seed`` is only
+    used when ``rng`` is not given.
+    """
     if n_samples < 1:
         raise ValueError("need at least one sample")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     ribbon = ArmchairGNR(n_index, n_cells=n_cells)
     energy = _probe_energy_ev(n_index) if energy_ev is None else energy_ev
 
@@ -140,6 +147,7 @@ def effective_gap_widening_ev(
     n_samples: int = 8,
     seed: int = 31,
     threshold: float = 0.5,
+    rng: np.random.Generator | None = None,
 ) -> float:
     """Transport-gap widening caused by edge roughness.
 
@@ -150,7 +158,8 @@ def effective_gap_widening_ev(
     """
     edge = band_gap_ev(n_index) / 2.0
     energies = edge + np.linspace(0.0, 0.5, 26)
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     ribbon = ArmchairGNR(n_index, n_cells=n_cells)
     devices = []
     for _ in range(n_samples):

@@ -53,7 +53,7 @@ from repro.variability.sampling import discretized_normal_choice
 from repro.variability.variants import DeviceVariant, variant_ribbon_table
 
 
-@dataclass
+@dataclass(frozen=True)
 class MonteCarloResult:
     """Sampled oscillator metrics plus the nominal reference.
 

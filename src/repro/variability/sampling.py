@@ -24,7 +24,7 @@ def discretized_normal_choice(
     rng: np.random.Generator,
     levels: Sequence[T],
     size: int | None = None,
-):
+) -> T | list[T]:
     """Draw from a 3-level discretized standard normal.
 
     ``levels`` is ``(minus_sigma_value, mean_value, plus_sigma_value)``.

@@ -52,14 +52,17 @@ def sample_latch_snm(
     charge_levels: tuple[float, float, float] = (-1.0, 0.0, 1.0),
     seed: int = 404,
     n_vtc_points: int = 31,
+    rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Hold-SNM samples of Monte Carlo latch cells (volts).
 
     Each cell's two inverters share their device draws (the paper's
     Fig. 7 setup: "Both inverters in the latch are assumed to have the
-    same widths and impurities"), with per-ribbon sampling.
+    same widths and impurities"), with per-ribbon sampling.  An
+    explicit ``rng`` overrides ``seed``.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     offset = tech.gate_offset_for_vt(vt)
     snms = np.empty(n_cells)
     for c in range(n_cells):

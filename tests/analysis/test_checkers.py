@@ -1,0 +1,270 @@
+"""One seeded violation per rule family, plus negative controls."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.checkers.contracts import ContractsChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.layering import (
+    LAYER_DAG,
+    LayeringChecker,
+    allowed_imports,
+)
+from repro.analysis.checkers.units import UnitsChecker, match_constant
+from repro.analysis.engine import Project, load_module
+
+
+def _module(tmp_path, source, rel="src/repro/device/example.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    module, err = load_module(path)
+    assert err is None, err
+    return module
+
+
+def _check(checker, *modules):
+    findings = []
+    for m in modules:
+        findings.extend(checker.check_module(m))
+    findings.extend(checker.check_project(Project(modules=list(modules))))
+    return findings
+
+
+class TestDeterminism:
+    def test_rpa101_unseeded_default_rng(self, tmp_path):
+        m = _module(tmp_path, """\
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().normal()
+        """)
+        codes = [f.code for f in _check(DeterminismChecker(), m)]
+        assert "RPA101" in codes
+
+    def test_seeded_default_rng_is_clean(self, tmp_path):
+        m = _module(tmp_path, """\
+            import numpy as np
+
+            def sample(rng: np.random.Generator):
+                return np.random.default_rng(42)
+        """)
+        assert _check(DeterminismChecker(), m) == []
+
+    def test_rpa102_legacy_global_state(self, tmp_path):
+        m = _module(tmp_path, """\
+            import numpy as np
+            np.random.seed(0)
+            x = np.random.rand(3)
+        """)
+        codes = [f.code for f in _check(DeterminismChecker(), m)]
+        assert codes.count("RPA102") == 2
+
+    def test_rpa102_from_import_alias(self, tmp_path):
+        m = _module(tmp_path, """\
+            from numpy.random import normal as draw
+            x = draw(size=3)
+        """)
+        codes = [f.code for f in _check(DeterminismChecker(), m)]
+        assert "RPA102" in codes
+
+    def test_rpa103_wall_clock(self, tmp_path):
+        m = _module(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        findings = _check(DeterminismChecker(), m)
+        assert [f.code for f in findings] == ["RPA103"]
+        assert "perf_counter" in findings[0].message
+
+    def test_perf_counter_is_clean(self, tmp_path):
+        m = _module(tmp_path, """\
+            import time
+
+            def duration():
+                return time.perf_counter()
+        """)
+        assert _check(DeterminismChecker(), m) == []
+
+    def test_rpa104_sampler_without_rng_param(self, tmp_path):
+        m = _module(tmp_path, """\
+            import numpy as np
+
+            def sample_widths(n: int, seed: int = 7) -> np.ndarray:
+                rng = np.random.default_rng(seed)
+                return rng.normal(size=n)
+        """)
+        codes = [f.code for f in _check(DeterminismChecker(), m)]
+        assert "RPA104" in codes
+
+    def test_rpa104_satisfied_by_rng_parameter(self, tmp_path):
+        m = _module(tmp_path, """\
+            import numpy as np
+
+            def sample_widths(n, rng=None):
+                if rng is None:
+                    rng = np.random.default_rng(7)
+                return rng.normal(size=n)
+        """)
+        assert not [f for f in _check(DeterminismChecker(), m)
+                    if f.code == "RPA104"]
+
+
+class TestUnits:
+    def test_rpa201_hopping_literal(self, tmp_path):
+        m = _module(tmp_path, """\
+            def hamiltonian_scale():
+                return -2.7
+        """)
+        findings = _check(UnitsChecker(), m)
+        assert [f.code for f in findings] == ["RPA201"]
+        assert "T_HOPPING_EV" in findings[0].message
+
+    def test_truncated_copies_match(self):
+        assert match_constant(1.602e-19) == "Q_E"
+        assert match_constant(8.85e-12) == "EPS_0"
+        assert match_constant(0.0259) == "KT_ROOM_EV"
+        assert match_constant(1.5) is None
+
+    def test_integers_never_match(self, tmp_path):
+        m = _module(tmp_path, """\
+            N_POINTS = 300
+        """)
+        assert _check(UnitsChecker(), m) == []
+
+    def test_constants_module_is_exempt(self, tmp_path):
+        m = _module(tmp_path, """\
+            T_HOPPING_EV = 2.7
+        """, rel="src/repro/constants.py")
+        assert _check(UnitsChecker(), m) == []
+
+
+class TestLayering:
+    def test_dag_transitive_closure(self):
+        assert "constants" in allowed_imports("negf")
+        assert "device" in allowed_imports("cli")
+        assert "device" not in allowed_imports("negf")
+        assert allowed_imports("constants") == frozenset()
+
+    def test_rpa301_upward_import(self, tmp_path):
+        m = _module(tmp_path, """\
+            from repro.device.tables import DeviceTable
+        """, rel="src/repro/negf/example.py")
+        findings = _check(LayeringChecker(), m)
+        assert [f.code for f in findings] == ["RPA301"]
+        assert "'negf' may not import 'device'" in findings[0].message
+
+    def test_rpa301_unknown_package(self, tmp_path):
+        m = _module(tmp_path, """\
+            from repro.widgets import thing
+        """, rel="src/repro/negf/example.py")
+        findings = _check(LayeringChecker(), m)
+        assert [f.code for f in findings] == ["RPA301"]
+        assert "layer DAG" in findings[0].message
+
+    def test_downward_import_is_clean(self, tmp_path):
+        m = _module(tmp_path, """\
+            from repro.atomistic.lattice import ArmchairGNR
+            from repro.constants import T_HOPPING_EV
+        """, rel="src/repro/negf/example.py")
+        assert _check(LayeringChecker(), m) == []
+
+    def test_root_facade_is_exempt(self, tmp_path):
+        m = _module(tmp_path, """\
+            from repro.cli import main
+        """, rel="src/repro/__init__.py")
+        assert _check(LayeringChecker(), m) == []
+
+    def test_rpa302_module_level_cycle(self, tmp_path):
+        a = _module(tmp_path, """\
+            from repro.negf.beta import g
+        """, rel="src/repro/negf/alpha.py")
+        b = _module(tmp_path, """\
+            from repro.negf.alpha import f
+        """, rel="src/repro/negf/beta.py")
+        findings = _check(LayeringChecker(), a, b)
+        assert [f.code for f in findings] == ["RPA302"]
+        assert "repro.negf.alpha" in findings[0].message
+
+    def test_function_level_import_breaks_cycle(self, tmp_path):
+        # A deferred import is the accepted way to break a runtime cycle,
+        # so it must not count as an RPA302 edge.
+        a = _module(tmp_path, """\
+            def late():
+                from repro.negf.beta import g
+                return g
+        """, rel="src/repro/negf/alpha.py")
+        b = _module(tmp_path, """\
+            from repro.negf.alpha import late
+        """, rel="src/repro/negf/beta.py")
+        assert _check(LayeringChecker(), a, b) == []
+
+    def test_dag_has_no_cycles(self):
+        for package in LAYER_DAG:
+            assert package not in allowed_imports(package)
+
+
+class TestContracts:
+    def test_rpa401_missing_annotations(self, tmp_path):
+        m = _module(tmp_path, """\
+            def solve(bias, steps: int = 3) -> float:
+                return 0.0
+
+            def report(x: float):
+                return x
+        """)
+        findings = [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA401"]
+        assert len(findings) == 2
+        assert "'solve'" in findings[0].message
+        assert "'report'" in findings[1].message
+
+    def test_private_and_dunder_are_exempt(self, tmp_path):
+        m = _module(tmp_path, """\
+            def _helper(x):
+                return x
+
+            class Model:
+                def __init__(self, geometry):
+                    self.geometry = geometry
+        """)
+        assert not [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA401"]
+
+    def test_rpa402_mutable_default(self, tmp_path):
+        m = _module(tmp_path, """\
+            def accumulate(values: list | None = None,
+                           sink: list = []) -> list:
+                return sink
+        """)
+        findings = [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA402"]
+        assert len(findings) == 1
+        assert "'accumulate'" in findings[0].message
+
+    def test_rpa403_mutable_result_dataclass(self, tmp_path):
+        m = _module(tmp_path, """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class SweepResult:
+                value: float
+        """)
+        findings = [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA403"]
+        assert len(findings) == 1
+        assert "SweepResult" in findings[0].message
+
+    def test_frozen_result_dataclass_is_clean(self, tmp_path):
+        m = _module(tmp_path, """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SweepResult:
+                value: float
+        """)
+        assert not [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA403"]

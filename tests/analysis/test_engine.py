@@ -1,0 +1,143 @@
+"""Tests of the analysis engine: discovery, suppression, reporting."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import (
+    PARSE_ERROR_CODE,
+    load_module,
+    module_name_for,
+    run_analysis,
+    scan_noqa,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestModuleModel:
+    def test_module_name_inside_repro_tree(self, tmp_path):
+        path = _write(tmp_path, "src/repro/negf/example.py", "x = 1\n")
+        module, err = load_module(path)
+        assert err is None
+        assert module.module_name == "repro.negf.example"
+        assert module.package == "negf"
+
+    def test_root_facade_package(self, tmp_path):
+        path = _write(tmp_path, "src/repro/__init__.py", "x = 1\n")
+        module, _ = load_module(path)
+        assert module.module_name == "repro"
+        assert module.package == "__init__"
+
+    def test_outside_repro_has_no_module_name(self, tmp_path):
+        path = _write(tmp_path, "scripts/tool.py", "x = 1\n")
+        module, _ = load_module(path)
+        assert module.module_name is None
+        assert module.package is None
+
+    def test_module_name_for_init(self, tmp_path):
+        assert module_name_for(
+            tmp_path / "src/repro/negf/__init__.py") == "repro.negf"
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        path = _write(tmp_path, "src/repro/bad.py", "def broken(:\n")
+        module, err = load_module(path)
+        assert module is None
+        assert err is not None
+        assert err.code == PARSE_ERROR_CODE
+
+
+class TestNoqa:
+    def test_blanket_and_coded_suppressions(self):
+        noqa = scan_noqa([
+            "x = 2.7  # repro: noqa",
+            "y = 1",
+            "z = 3.9  # repro: noqa[RPA201]",
+            "w = 0  # repro: noqa[RPA201, RPA103]",
+        ])
+        assert noqa[1] == frozenset()
+        assert 2 not in noqa
+        assert noqa[3] == frozenset({"RPA201"})
+        assert noqa[4] == frozenset({"RPA201", "RPA103"})
+
+    def test_noqa_suppresses_finding_on_its_line(self, tmp_path):
+        clean = _write(tmp_path, "src/repro/device/example.py", """\
+            T_GHZ = 2.7  # repro: noqa[RPA201]
+        """)
+        report = run_analysis([clean])
+        assert report.clean
+        assert report.n_noqa_suppressed == 1
+
+    def test_noqa_with_wrong_code_does_not_suppress(self, tmp_path):
+        path = _write(tmp_path, "src/repro/device/example.py", """\
+            T_GHZ = 2.7  # repro: noqa[RPA103]
+        """)
+        report = run_analysis([path])
+        assert [f.code for f in report.findings] == ["RPA201"]
+
+
+class TestBaseline:
+    def test_baseline_roundtrip_suppresses(self, tmp_path):
+        src = _write(tmp_path, "src/repro/device/example.py", """\
+            HOPPING = 2.7
+        """)
+        report = run_analysis([src])
+        assert len(report.findings) == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, report.findings)
+        baseline = load_baseline(baseline_file)
+
+        again = run_analysis([src], baseline=baseline)
+        assert again.clean
+        assert again.n_baseline_suppressed == 1
+
+    def test_baseline_budget_is_consumed_per_occurrence(self, tmp_path):
+        one = _write(tmp_path, "src/repro/device/example.py", """\
+            A = 2.7
+        """)
+        report_one = run_analysis([one])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, report_one.findings)
+
+        # A second identical occurrence exceeds the accepted budget of 1.
+        _write(tmp_path, "src/repro/device/example.py", """\
+            A = 2.7
+            B = 2.7
+        """)
+        report_two = run_analysis([one],
+                                  baseline=load_baseline(baseline_file))
+        assert len(report_two.findings) == 1
+        assert report_two.n_baseline_suppressed == 1
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        path = _write(tmp_path, "src/repro/device/example.py", """\
+            A = 2.7
+        """)
+        return run_analysis([path])
+
+    def test_text_report_format(self, tmp_path):
+        text = render_text(self._report(tmp_path))
+        assert "RPA201" in text
+        assert text.endswith("1 finding(s) in 1 file(s)")
+
+    def test_json_report_format(self, tmp_path):
+        document = json.loads(render_json(self._report(tmp_path)))
+        assert document["summary"]["findings"] == 1
+        assert document["findings"][0]["code"] == "RPA201"
+
+    def test_finding_render_is_clickable(self):
+        f = Finding(path="src/repro/x.py", line=3, col=7, code="RPA101",
+                    message="boom")
+        assert f.render() == "src/repro/x.py:3:7: RPA101 boom"

@@ -1,0 +1,43 @@
+"""The repo's own tree must pass its own linter with no baseline."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def repo_report():
+    return run_analysis([SRC_TREE])
+
+
+def test_src_tree_is_clean(repo_report):
+    rendered = "\n".join(f.render() for f in repo_report.findings)
+    assert repo_report.clean, f"lint findings in src/repro:\n{rendered}"
+
+
+def test_every_file_was_analysed(repo_report):
+    n_py = len([p for p in SRC_TREE.rglob("*.py")
+                if "__pycache__" not in p.parts])
+    assert repo_report.n_files == n_py
+
+
+def test_cli_exit_code_is_zero(capsys):
+    assert lint_main([str(SRC_TREE)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_exit_code_on_findings(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "device" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("HOPPING = 2.7\n")
+    assert lint_main([str(bad)]) == 1
+    assert "RPA201" in capsys.readouterr().out
