@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Trace tour: watch the observability layer follow one device solve.
+
+A minimal end-to-end pass through `repro.obs` (docs/observability.md):
+
+1. switch tracing on programmatically (`obs.enable()` — the CLI
+   equivalent is `repro run <id> --trace` or `REPRO_TRACE=1`);
+2. solve a handful of bias points on the paper's nominal N=12 device
+   under a wrapping span, so the SCF/energy-grid counters and the
+   span tree fill in;
+3. build the JSON run manifest and print its summarized form — the
+   same text `repro trace summarize <manifest>` renders.
+
+Run:  python examples/trace_tour.py
+"""
+
+import time
+
+from repro import GNRFETGeometry, SBFETModel, obs
+
+
+def main() -> None:
+    obs.enable()
+    obs.reset()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+
+    model = SBFETModel(GNRFETGeometry(n_index=12))
+    with obs.span("example.trace_tour", n_index=12):
+        for vg, vd in [(0.0, 0.5), (0.25, 0.5), (0.5, 0.5), (0.4, 0.1)]:
+            with obs.span("example.bias_point", vg=vg, vd=vd):
+                solution = model.solve_bias(vg, vd)
+            print(f"  VG = {vg:4.2f} V, VD = {vd:4.2f} V  ->  "
+                  f"ID = {solution.current_a:.3e} A")
+
+    manifest = obs.build_manifest(
+        label="trace tour (N=12 bias points)",
+        config={"n_index": 12, "bias_points": 4},
+        wall_s=time.perf_counter() - wall_start,
+        cpu_s=time.process_time() - cpu_start)
+    path = obs.write_manifest(manifest, "trace-tour.manifest.json")
+    print(f"\nwrote {path} — summarizing:\n")
+    print(obs.summarize_text(manifest), end="")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,13 @@
-"""Checker registry: one instance of every rule family."""
+"""Checker registry: one instance of every rule family.
+
+Layer: inside :mod:`repro.analysis` (cross-cutting tooling; imports
+only ``errors``).  Responsibility: enumerate the rule families the
+engine runs — RPA1xx determinism, RPA2xx units, RPA3xx layering,
+RPA4xx API contracts (annotations, defaults, frozen results, package
+docstrings) — so `python -m repro.analysis` and `repro lint` agree on
+the rule set.  Add new checkers here (``default_checkers``) and their
+codes surface automatically in ``all_codes`` / ``--list-codes``.
+"""
 
 from __future__ import annotations
 

@@ -11,6 +11,10 @@
   ``*Metrics``, ``*Output``) are values handed across layer boundaries
   and into caches; they must be ``frozen=True`` so a consumer cannot
   silently mutate a cached table's provenance.
+* ``RPA404`` — every package ``__init__.py`` must carry a non-empty
+  docstring naming the package's layer and responsibility; the package
+  docstring is the entry point a reader (and ``help()``) hits first,
+  and an empty one hides where a module sits in the DESIGN §4.1 DAG.
 """
 
 from __future__ import annotations
@@ -41,6 +45,8 @@ class ContractsChecker(Checker):
         "RPA402": "mutable default argument is shared across calls",
         "RPA403": "result dataclass must be frozen "
                   "(@dataclass(frozen=True))",
+        "RPA404": "package __init__.py must have a non-empty docstring "
+                  "stating the package's layer and responsibility",
     }
 
     def check_module(self, module: ModuleInfo) -> list[Finding]:
@@ -51,6 +57,7 @@ class ContractsChecker(Checker):
         for node in module.tree.body:
             if isinstance(node, ast.ClassDef):
                 findings.extend(self._check_result_dataclass(module, node))
+        findings.extend(self._check_package_docstring(module))
         return findings
 
     # ------------------------------------------------------------------ #
@@ -134,6 +141,21 @@ class ContractsChecker(Checker):
             "@dataclass(frozen=True) so values crossing layer (and "
             "cache) boundaries cannot be altered in place",
             symbol=cls.name)]
+
+    # ------------------------------------------------------------------ #
+    # RPA404
+    # ------------------------------------------------------------------ #
+    def _check_package_docstring(self, module: ModuleInfo) -> list[Finding]:
+        if not module.is_package_init or module.module_name is None:
+            return []
+        doc = ast.get_docstring(module.tree)
+        if doc is not None and doc.strip():
+            return []
+        return [self.finding(
+            module, module.tree, "RPA404",
+            f"package '{module.module_name}' has no docstring; state the "
+            "package's layer and responsibility (see DESIGN.md §4.1)",
+            symbol=module.module_name)]
 
     @staticmethod
     def _dataclass_decorator(cls: ast.ClassDef) -> ast.AST | None:

@@ -5,9 +5,9 @@ The architecture (DESIGN.md §4) is a strict pipeline
 ``constants -> atomistic -> {poisson, negf} -> device -> circuit ->
 cmos -> exploration -> variability -> reporting -> cli``
 
-with three cross-cutting utility layers importable from anywhere:
-``errors`` (exception hierarchy), ``runtime`` (execution substrate) and
-``sanitize`` (numerical guards).  A package may import any package
+with four cross-cutting utility layers importable from anywhere:
+``errors`` (exception hierarchy), ``runtime`` (execution substrate),
+``sanitize`` (numerical guards) and ``obs`` (tracing/metrics).  A package may import any package
 *reachable* through the DAG below it; importing upward (``negf`` pulling
 in ``device``) or across unrelated branches (``poisson`` pulling in
 ``negf``) couples layers that were designed independent, and any cycle
@@ -33,19 +33,21 @@ from repro.analysis.findings import Finding
 LAYER_DAG: dict[str, frozenset[str]] = {
     "constants": frozenset(),
     "errors": frozenset(),
-    "runtime": frozenset({"errors"}),
+    "obs": frozenset({"errors"}),
+    "runtime": frozenset({"errors", "obs"}),
     "sanitize": frozenset({"constants", "errors"}),
     "analysis": frozenset({"errors"}),
     "atomistic": frozenset({"constants", "errors"}),
     "poisson": frozenset({"atomistic"}),
-    "negf": frozenset({"atomistic", "sanitize"}),
-    "device": frozenset({"negf", "poisson", "runtime", "sanitize"}),
-    "circuit": frozenset({"device"}),
+    "negf": frozenset({"atomistic", "sanitize", "obs"}),
+    "device": frozenset({"negf", "poisson", "runtime", "sanitize", "obs"}),
+    "circuit": frozenset({"device", "obs"}),
     "cmos": frozenset({"circuit"}),
-    "exploration": frozenset({"cmos", "runtime"}),
+    "exploration": frozenset({"cmos", "runtime", "obs"}),
     "variability": frozenset({"exploration", "runtime", "sanitize"}),
     "reporting": frozenset({"variability"}),
-    "cli": frozenset({"reporting", "analysis", "runtime", "sanitize"}),
+    "cli": frozenset({"reporting", "analysis", "runtime", "sanitize",
+                      "obs"}),
 }
 
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.circuit.netlist import Circuit, GROUND
 from repro.errors import ConvergenceError
 
@@ -124,6 +124,10 @@ def solve_dc(
     if ok:
         if sanitize.ACTIVE:
             sanitize.check_finite(v_sol, "solve_dc", "node voltages")
+        if obs.ACTIVE:
+            obs.incr("circuit.dc_solves")
+            obs.incr("circuit.newton_iterations", iters)
+            obs.observe("circuit.dc_newton_iterations", iters)
         return DCResult(circuit=circuit, voltages=v_sol, iterations=iters)
 
     # Source stepping from zero bias.
@@ -147,4 +151,9 @@ def solve_dc(
                     iterations=total_iters)
     if sanitize.ACTIVE:
         sanitize.check_finite(v, "solve_dc", "node voltages")
+    if obs.ACTIVE:
+        obs.incr("circuit.dc_solves")
+        obs.incr("circuit.dc_source_stepped")
+        obs.incr("circuit.newton_iterations", total_iters)
+        obs.observe("circuit.dc_newton_iterations", total_iters)
     return DCResult(circuit=circuit, voltages=v, iterations=total_iters)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.circuit.dc import solve_dc
 from repro.circuit.inverter import (
     CircuitParameters,
@@ -140,15 +141,18 @@ def simulate_ring_oscillator(
     # The window is budgeted from the quasi-static estimate; if the real
     # oscillation turns out slower, extend and retry rather than fail.
     freq = None
-    for _attempt in range(3):
-        result = simulate_transient(circuit, t_end, dt, v0,
-                                    monitor_supplies=(vdd_node,))
-        try:
-            freq = oscillation_frequency(result.time_s, result.v("s0"),
-                                         vdd, settle_fraction=0.35)
-            break
-        except AnalysisError:
-            t_end *= 2.0
+    with obs.span("circuit.ring_oscillator", vdd=vdd, n_stages=n_stages):
+        for _attempt in range(3):
+            result = simulate_transient(circuit, t_end, dt, v0,
+                                        monitor_supplies=(vdd_node,))
+            try:
+                freq = oscillation_frequency(result.time_s, result.v("s0"),
+                                             vdd, settle_fraction=0.35)
+                break
+            except AnalysisError:
+                t_end *= 2.0
+                if obs.ACTIVE:
+                    obs.incr("circuit.ring_window_retries")
     if freq is None:
         raise AnalysisError(
             "no sustained oscillation detected even after extending the "
@@ -197,6 +201,8 @@ def estimate_ring_oscillator(
     delay_calibration: float = ESTIMATOR_DELAY_CALIBRATION,
 ) -> RingOscillatorMetrics:
     """Quasi-static oscillator estimate for dense parameter sweeps."""
+    if obs.ACTIVE:
+        obs.incr("circuit.ring_estimates")
     params = params or CircuitParameters()
     stage_delay = estimate_inverter_delay(n_table, p_table, vdd, params)
     stage_delay *= delay_calibration

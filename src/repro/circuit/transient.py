@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.circuit.netlist import Circuit, GROUND, voltage_at
 from repro.errors import ConvergenceError
 
@@ -195,38 +195,49 @@ def simulate_transient(
 
     t = 0.0
     first_step = True
-    while t < t_end_s - 1e-21:
-        h = min(dt_s, t_end_s - t)
-        ok = False
-        for _ in range(max_step_halvings + 1):
-            v_try = v.copy()
-            for node, value in circuit.fixed_voltages(t + h).items():
-                v_try[node] = value
-            caps = _collect_caps(circuit, v)
-            if len(caps) != i_cap.size:
+    # Counters accumulate in locals and flush to obs once at the end:
+    # the step loop is the hot path of every delay/power figure.
+    n_steps = 0
+    n_halvings = 0
+    with obs.span("circuit.transient", t_end_s=t_end_s, dt_s=dt_s):
+        while t < t_end_s - 1e-21:
+            h = min(dt_s, t_end_s - t)
+            ok = False
+            for attempt in range(max_step_halvings + 1):
+                v_try = v.copy()
+                for node, value in circuit.fixed_voltages(t + h).items():
+                    v_try[node] = value
+                caps = _collect_caps(circuit, v)
+                if len(caps) != i_cap.size:
+                    raise ConvergenceError(
+                        "element capacitor count changed during simulation")
+                v_new, i_cap_new, ok = _step_newton(
+                    circuit, v_try, free, caps, i_cap, v, h,
+                    gmin, tol_a, max_iter, damping_v,
+                    backward_euler=first_step)
+                if ok:
+                    n_halvings += attempt
+                    break
+                h *= 0.5
+            if not ok:
                 raise ConvergenceError(
-                    "element capacitor count changed during simulation")
-            v_new, i_cap_new, ok = _step_newton(
-                circuit, v_try, free, caps, i_cap, v, h,
-                gmin, tol_a, max_iter, damping_v,
-                backward_euler=first_step)
-            if ok:
-                break
-            h *= 0.5
-        if not ok:
-            raise ConvergenceError(
-                f"transient step failed to converge at t = {t:.3e} s "
-                f"even after {max_step_halvings} step halvings")
-        t += h
-        v = v_new
-        i_cap = i_cap_new
-        if sanitize.ACTIVE:
-            sanitize.check_finite(v, "simulate_transient",
-                                  f"node voltages at t={t:.6g} s")
-        first_step = False
-        times.append(t)
-        traj.append(v.copy())
-        record_supplies(v)
+                    f"transient step failed to converge at t = {t:.3e} s "
+                    f"even after {max_step_halvings} step halvings")
+            t += h
+            v = v_new
+            i_cap = i_cap_new
+            if sanitize.ACTIVE:
+                sanitize.check_finite(v, "simulate_transient",
+                                      f"node voltages at t={t:.6g} s")
+            first_step = False
+            n_steps += 1
+            times.append(t)
+            traj.append(v.copy())
+            record_supplies(v)
+    if obs.ACTIVE:
+        obs.incr("circuit.transient_runs")
+        obs.incr("circuit.transient_steps", n_steps)
+        obs.incr("circuit.step_halvings", n_halvings)
 
     return TransientResult(
         circuit=circuit,

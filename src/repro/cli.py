@@ -4,29 +4,34 @@ Usage::
 
     repro list
     repro run fig4 [--fast] [--out report.txt] [--workers 4] [--no-cache]
-    repro run all [--fast] [--sanitize]
+    repro run all [--fast] [--sanitize] [--trace]
     repro lint [paths ...] [--format json] [--baseline FILE]
     repro cache info
     repro cache clear
+    repro trace summarize manifest.json [--format text|json] [--top N]
 
 ``--workers`` and ``--no-cache`` configure the shared execution runtime
 (:mod:`repro.runtime`) by exporting ``REPRO_WORKERS`` /
 ``REPRO_NO_CACHE`` for the process, so every sweep the experiment
 touches picks them up.  ``--sanitize`` (or ``REPRO_SANITIZE=1``)
 switches on the numerical sanitizer of :mod:`repro.sanitize` for the
-run, and ``repro lint`` is the static analysis front end of
-:mod:`repro.analysis`.
+run, ``--trace`` (or ``REPRO_TRACE=1``) switches on the observability
+layer of :mod:`repro.obs` and writes a JSON run manifest next to the
+report, and ``repro lint`` is the static analysis front end of
+:mod:`repro.analysis`.  ``repro trace summarize`` renders a manifest as
+a human-readable summary (or a condensed JSON document).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from pathlib import Path
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.analysis.cli import build_parser as build_lint_parser
 from repro.analysis.cli import main as lint_main
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
@@ -49,19 +54,33 @@ def _apply_runtime_flags(args) -> None:
         os.environ[NO_CACHE_ENV] = "1"
     if getattr(args, "sanitize", False):
         sanitize.enable()
+    if getattr(args, "trace", False):
+        obs.enable()
+
+
+def _manifest_path(out: str | None) -> Path:
+    """Manifest lands next to the report (``<out>.manifest.json``)."""
+    if out:
+        return Path(str(out) + ".manifest.json")
+    return Path("repro-run.manifest.json")
 
 
 def _cmd_run(args) -> int:
     _apply_runtime_flags(args)
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
+    if obs.ACTIVE:
+        obs.reset()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
     for target in targets:
         if target not in EXPERIMENTS:
             print(f"unknown experiment {target!r}; try 'repro list'",
                   file=sys.stderr)
             return 2
         start = time.perf_counter()
-        report, _ = run_experiment(target, fast=args.fast)
+        with obs.span(f"cli.run.{target}", fast=args.fast):
+            report, _ = run_experiment(target, fast=args.fast)
         elapsed = time.perf_counter() - start
         banner = f"=== {target} ({elapsed:.1f} s) ==="
         reports.append(banner + "\n" + report)
@@ -71,6 +90,14 @@ def _cmd_run(args) -> int:
     if args.out:
         Path(args.out).write_text("\n\n".join(reports) + "\n")
         print(f"wrote {args.out}")
+    if obs.ACTIVE:
+        manifest = obs.build_manifest(
+            label="repro run " + " ".join(targets),
+            config={"experiments": targets, "fast": bool(args.fast)},
+            wall_s=time.perf_counter() - wall_start,
+            cpu_s=time.process_time() - cpu_start)
+        path = obs.write_manifest(manifest, _manifest_path(args.out))
+        print(f"wrote {path}")
     return 0
 
 
@@ -91,6 +118,23 @@ def _cmd_cache(args) -> int:
     print(f"tables:      {len(keys)} artifact(s), {size_mb:.2f} MB")
     for key in keys:
         print(f"  {key}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.action != "summarize":  # argparse restricts; defensive
+        print(f"unknown trace action {args.action!r}", file=sys.stderr)
+        return 2
+    try:
+        manifest = obs.load_manifest(args.manifest)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(obs.summarize_json(manifest, top=args.top),
+                         indent=2))
+    else:
+        print(obs.summarize_text(manifest, top=args.top), end="")
     return 0
 
 
@@ -117,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="enable the numerical sanitizer "
                             "(equivalent to REPRO_SANITIZE=1)")
+    p_run.add_argument("--trace", action="store_true",
+                       help="enable tracing/metrics and write a JSON run "
+                            "manifest (equivalent to REPRO_TRACE=1)")
     p_run.set_defaults(func=_cmd_run)
 
     p_lint = sub.add_parser(
@@ -129,6 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("action", choices=("info", "clear"),
                          help="'info' lists artifacts, 'clear' deletes them")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_trace = sub.add_parser("trace",
+                             help="inspect run manifests written by --trace")
+    p_trace.add_argument("action", choices=("summarize",),
+                         help="'summarize' renders a manifest")
+    p_trace.add_argument("manifest", help="path to a *.manifest.json file")
+    p_trace.add_argument("--format", choices=("text", "json"),
+                         default="text", help="output format")
+    p_trace.add_argument("--top", type=int, default=obs.DEFAULT_TOP_SPANS,
+                         metavar="N", help="spans to list in the ranking")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

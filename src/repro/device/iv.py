@@ -18,6 +18,7 @@ from functools import partial
 
 import numpy as np
 
+from repro import obs
 from repro.device.geometry import GNRFETGeometry
 from repro.device.sbfet import SBFETModel
 from repro.runtime import parallel_map, resolve_workers
@@ -114,22 +115,24 @@ def sweep_iv(
     current = np.empty(shape)
     charge = np.empty(shape)
     midgap = np.empty(shape)
-    if resolve_workers(workers) <= 1:
-        # Serial fast path: one model serves every row.
-        model = SBFETModel(geometry, n_modes=n_modes)
-        for i, vg in enumerate(vg_grid):
-            for j, vd in enumerate(vd_grid):
-                sol = model.solve_bias(float(vg), float(vd))
-                current[i, j] = sol.current_a
-                charge[i, j] = sol.charge_c
-                midgap[i, j] = sol.midgap_ev
-    else:
-        rows = parallel_map(
-            partial(_solve_iv_row, geometry, vd_grid, n_modes),
-            [float(vg) for vg in vg_grid], workers=workers)
-        for i, (cur_row, chg_row, mid_row) in enumerate(rows):
-            current[i] = cur_row
-            charge[i] = chg_row
-            midgap[i] = mid_row
+    with obs.span("device.sweep_iv", n_index=geometry.n_index,
+                  grid=f"{vg_grid.size}x{vd_grid.size}"):
+        if resolve_workers(workers) <= 1:
+            # Serial fast path: one model serves every row.
+            model = SBFETModel(geometry, n_modes=n_modes)
+            for i, vg in enumerate(vg_grid):
+                for j, vd in enumerate(vd_grid):
+                    sol = model.solve_bias(float(vg), float(vd))
+                    current[i, j] = sol.current_a
+                    charge[i, j] = sol.charge_c
+                    midgap[i, j] = sol.midgap_ev
+        else:
+            rows = parallel_map(
+                partial(_solve_iv_row, geometry, vd_grid, n_modes),
+                [float(vg) for vg in vg_grid], workers=workers)
+            for i, (cur_row, chg_row, mid_row) in enumerate(rows):
+                current[i] = cur_row
+                charge[i] = chg_row
+                midgap[i] = mid_row
     return IVSweep(vg=vg_grid, vd=vd_grid, current_a=current,
                    charge_c=charge, midgap_ev=midgap, geometry=geometry)

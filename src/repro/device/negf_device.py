@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.constants import (
     HBAR_SI,
     LANDAUER_PREFACTOR_A_PER_EV,
@@ -134,6 +134,9 @@ def _scalar_chain_rgf(
                               energies_ev=energies)
         sanitize.check_finite(spectral_drain, op, "A_drain",
                               energies_ev=energies)
+    if obs.ACTIVE:
+        obs.incr("negf.chain_rgf_solves")
+        obs.incr("negf.chain_energy_points", n_e)
     return _ChainRGFOutput(transmission=transmission,
                            spectral_source=spectral_source,
                            spectral_drain=spectral_drain)
@@ -352,7 +355,11 @@ class NEGFDevice:
                              max_iterations=max_iterations,
                              mixer=AndersonMixer(beta=0.15, history=6),
                              raise_on_failure=False)
-        scf = self_consistent_loop(solve_charge, solve_potential, u0, options)
+        with obs.span("device.negf_solve", vg=vg, vd=vd):
+            scf = self_consistent_loop(solve_charge, solve_potential, u0,
+                                       options)
+        if obs.ACTIVE:
+            obs.incr("device.bias_points")
 
         u = scf.potential
         if sanitize.ACTIVE:

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.constants import (
     HBAR_SI,
     LANDAUER_PREFACTOR_A_PER_EV,
@@ -396,6 +396,14 @@ class SBFETModel:
     def solve_bias(self, vg: float, vd: float) -> SBFETSolution:
         """Solve one bias point self-consistently and return all outputs."""
         u_ch, iterations = self.solve_midgap_ev(vg, vd)
+        if obs.ACTIVE:
+            # The bisection is this engine's SCF: emit the same counter
+            # family as the NEGF loop so rollups cover both engines.
+            obs.incr("device.bias_points")
+            obs.incr("scf.solves")
+            obs.incr("scf.converged")
+            obs.incr("scf.iterations", iterations)
+            obs.observe("scf.iterations_to_converge", iterations)
         n, p = self._densities_at_level(np.array([u_ch]), 0.0, -vd)
         current = self.current_a(u_ch, vd)
         charge = self.channel_charge_c(u_ch, vd)

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.device.geometry import GNRFETGeometry
 from repro.device.iv import IVSweep, sweep_iv
 from repro.errors import TableRangeError
@@ -386,6 +387,8 @@ def build_device_table(
     vd_grid = DEFAULT_VD_GRID if vd_grid is None else np.asarray(vd_grid, float)
     key = (geometry, tuple(vg_grid), tuple(vd_grid), n_modes)
     if use_cache and key in _TABLE_CACHE:
+        if obs.ACTIVE:
+            obs.incr("cache.table_memory_hits")
         return _TABLE_CACHE[key]
 
     disk = _disk_cache() if use_cache else None
@@ -398,13 +401,19 @@ def build_device_table(
                 table = _table_from_payload(payload)
             except (KeyError, ValueError):
                 table = None  # corrupt/foreign payload: rebuild
+        if table is not None and obs.ACTIVE:
+            obs.incr("cache.table_disk_hits")
     if table is None:
-        sweep = sweep_iv(geometry, vg_grid, vd_grid, n_modes=n_modes,
-                         workers=workers)
-        label = f"N={geometry.n_index}"
-        if geometry.impurity is not None and geometry.impurity.charge_e != 0.0:
-            label += f",imp={geometry.impurity.charge_e:+g}q"
-        table = DeviceTable.from_sweep(sweep, label=label)
+        if obs.ACTIVE:
+            obs.incr("cache.table_builds")
+        with obs.span("device.build_table", n_index=geometry.n_index):
+            sweep = sweep_iv(geometry, vg_grid, vd_grid, n_modes=n_modes,
+                             workers=workers)
+            label = f"N={geometry.n_index}"
+            if geometry.impurity is not None and \
+                    geometry.impurity.charge_e != 0.0:
+                label += f",imp={geometry.impurity.charge_e:+g}q"
+            table = DeviceTable.from_sweep(sweep, label=label)
         if disk is not None:
             disk.put(digest, vg=table.vg, vd=table.vd,
                      current_a=table.current_a, charge_c=table.charge_c,

@@ -13,6 +13,7 @@ from functools import partial
 
 import numpy as np
 
+from repro import obs
 from repro.circuit.inverter import inverter_snm
 from repro.circuit.ring_oscillator import estimate_ring_oscillator
 from repro.errors import AnalysisError
@@ -95,9 +96,11 @@ def sweep_vdd_vt(
     p_tot = np.full(shape, np.nan)
     p_stat = np.full(shape, np.nan)
 
-    rows = parallel_map(
-        partial(_explore_vt_row, tech, vdd_grid, n_stages, with_snm),
-        [float(vt) for vt in vt_grid], workers=workers)
+    with obs.span("exploration.sweep_vdd_vt",
+                  grid=f"{vt_grid.size}x{vdd_grid.size}"):
+        rows = parallel_map(
+            partial(_explore_vt_row, tech, vdd_grid, n_stages, with_snm),
+            [float(vt) for vt in vt_grid], workers=workers)
     for i, (f_row, e_row, s_row, pt_row, ps_row) in enumerate(rows):
         freq[i] = f_row
         edp[i] = e_row

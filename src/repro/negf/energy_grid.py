@@ -14,6 +14,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.constants import KT_ROOM_EV
 
 
@@ -66,4 +67,8 @@ def adaptive_energy_grid(
     grid = np.unique(np.concatenate(pieces))
     # Collapse near-duplicates that would produce zero-width trapezoids.
     keep = np.concatenate(([True], np.diff(grid) > fine_step_ev * 1e-6))
-    return grid[keep]
+    final = grid[keep]
+    if obs.ACTIVE:
+        obs.incr("negf.energy_grids")
+        obs.incr("negf.energy_grid_points", final.size)
+    return final

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 
 
 def dense_retarded_gf(
@@ -54,6 +54,8 @@ def dense_retarded_gf(
     if sanitize.ACTIVE:
         sanitize.check_finite(gf, "dense_retarded_gf", "G^r",
                               energy_ev=energy_ev)
+    if obs.ACTIVE:
+        obs.incr("negf.dense_gf_solves")
     return gf
 
 
@@ -204,6 +206,12 @@ def recursive_greens_function(
             transmission, t_reverse, op,
             quantity="left/right transmission reciprocity",
             rtol=1e-6, atol=1e-10, energy_ev=energy_ev)
+
+    if obs.ACTIVE:
+        obs.incr("negf.rgf_passes")
+        # One np.linalg.solve per block in each of the forward (gL) and
+        # right-connected (gR) sweeps.
+        obs.incr("negf.rgf_block_solves", 2 * n_blocks)
 
     return RGFResult(
         diagonal=[np.asarray(d) for d in diag],

@@ -18,7 +18,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.errors import ConvergenceError
 from repro.negf.mixing import AndersonMixer, LinearMixer
 
@@ -98,6 +98,11 @@ def self_consistent_loop(
             # and SCFResult guarantees that ``potential`` and ``charge``
             # describe the same self-consistent state.
             charge = solve_charge(new_potential)
+            if obs.ACTIVE:
+                obs.incr("scf.solves")
+                obs.incr("scf.converged")
+                obs.incr("scf.iterations", iteration)
+                obs.observe("scf.iterations_to_converge", iteration)
             return SCFResult(potential=new_potential, charge=charge,
                              converged=True, iterations=iteration,
                              residual_history=residuals)
@@ -111,6 +116,11 @@ def self_consistent_loop(
             sanitize.check_finite(
                 charge, op, f"charge density (iteration {iteration})")
 
+    if obs.ACTIVE:
+        obs.incr("scf.solves")
+        obs.incr("scf.diverged")
+        obs.incr("scf.iterations", options.max_iterations)
+        obs.observe("scf.iterations_to_converge", options.max_iterations)
     if options.raise_on_failure:
         raise ConvergenceError(
             "SCF loop failed to converge: residual "

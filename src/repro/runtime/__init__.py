@@ -15,6 +15,9 @@ Environment knobs
     Cache root (default ``~/.cache/repro-gnrfet``).
 ``REPRO_NO_CACHE``
     Any non-empty value disables the on-disk cache.
+``REPRO_TRACE``
+    Enables :mod:`repro.obs` tracing; worker processes inherit it and
+    forward their recorded metrics back to the parent in chunk order.
 """
 
 from repro.runtime.cache import (

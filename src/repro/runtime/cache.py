@@ -36,6 +36,8 @@ from typing import Any, Iterable
 
 import numpy as np
 
+from repro import obs
+
 #: Environment variable overriding the cache root directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -136,14 +138,21 @@ class ArtifactCache:
             return None
         path = self.path_for(key)
         if not path.is_file():
+            if obs.ACTIVE:
+                obs.incr("cache.artifact_misses")
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
-                return {name: data[name] for name in data.files}
+                payload = {name: data[name] for name in data.files}
         except (OSError, ValueError, KeyError):
             # Torn or foreign file: treat as a miss; the rebuilt artifact
             # will atomically replace it.
+            if obs.ACTIVE:
+                obs.incr("cache.artifact_misses")
             return None
+        if obs.ACTIVE:
+            obs.incr("cache.artifact_hits")
+        return payload
 
     def put(self, key: str, **arrays: np.ndarray) -> Path | None:
         """Atomically persist a payload; returns the path (None if
@@ -162,6 +171,8 @@ class ArtifactCache:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+        if obs.ACTIVE:
+            obs.incr("cache.artifact_writes")
         return final
 
     def keys(self) -> list[str]:

@@ -37,6 +37,8 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from repro import obs
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -73,10 +75,21 @@ def in_worker() -> bool:
     return bool(os.environ.get(_IN_WORKER_ENV))
 
 
-def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
-    """Worker-side chunk executor (module-level so it pickles)."""
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]
+               ) -> tuple[list[R], dict | None]:
+    """Worker-side chunk executor (module-level so it pickles).
+
+    Returns ``(results, obs_payload)``: workers inherit ``REPRO_TRACE``
+    through the environment, record spans/metrics into their own
+    process-local recorder, and ship the drained payload back alongside
+    the chunk results so the parent can absorb it deterministically.
+    """
     os.environ[_IN_WORKER_ENV] = "1"
-    return [fn(item) for item in chunk]
+    if not obs.ACTIVE:
+        return [fn(item) for item in chunk], None
+    obs.reset()
+    results = [fn(item) for item in chunk]
+    return results, obs.drain()
 
 
 def default_chunk_size(n_items: int, workers: int,
@@ -108,19 +121,31 @@ def parallel_map(
     chunks = [items[i:i + chunk_size]
               for i in range(0, len(items), chunk_size)]
 
-    results: list[list[R] | None] = [None] * len(chunks)
-    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        future_index = {pool.submit(_run_chunk, fn, chunk): k
-                        for k, chunk in enumerate(chunks)}
-        done, not_done = wait(future_index, return_when=FIRST_EXCEPTION)
-        for future in not_done:
-            future.cancel()
-        for future in done:
-            results[future_index[future]] = future.result()  # raises here
-        for future in not_done:
-            if not future.cancelled():
-                results[future_index[future]] = future.result()
-    return [r for chunk in results for r in chunk]  # type: ignore[union-attr]
+    with obs.span("runtime.parallel_map", workers=workers,
+                  items=len(items), chunks=len(chunks)):
+        results: list[list[R] | None] = [None] * len(chunks)
+        payloads: list[dict | None] = [None] * len(chunks)
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks))) as pool:
+            future_index = {pool.submit(_run_chunk, fn, chunk): k
+                            for k, chunk in enumerate(chunks)}
+            done, not_done = wait(future_index, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                future.cancel()
+            for future in done:
+                k = future_index[future]
+                results[k], payloads[k] = future.result()  # raises here
+            for future in not_done:
+                if not future.cancelled():
+                    k = future_index[future]
+                    results[k], payloads[k] = future.result()
+        if obs.ACTIVE:
+            # Chunk-index order, not completion order: worker metrics
+            # aggregate identically at any worker count.
+            for payload in payloads:
+                obs.absorb(payload)
+        return [r for chunk in results
+                for r in chunk]  # type: ignore[union-attr]
 
 
 def spawn_seed_sequences(seed: int, n_tasks: int

@@ -268,3 +268,33 @@ class TestContracts:
         """)
         assert not [f for f in _check(ContractsChecker(), m)
                     if f.code == "RPA403"]
+
+    def test_rpa404_missing_package_docstring(self, tmp_path):
+        m = _module(tmp_path, """\
+            from repro.negf.scf import SCFResult
+        """, rel="src/repro/negf/__init__.py")
+        findings = [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA404"]
+        assert len(findings) == 1
+        assert "repro.negf" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_rpa404_whitespace_docstring_still_flagged(self, tmp_path):
+        m = _module(tmp_path, '"   "\n', rel="src/repro/negf/__init__.py")
+        assert [f.code for f in _check(ContractsChecker(), m)
+                if f.code == "RPA404"] == ["RPA404"]
+
+    def test_rpa404_documented_package_is_clean(self, tmp_path):
+        m = _module(tmp_path, """\
+            '''Transport layer: NEGF kernels.'''
+        """, rel="src/repro/negf/__init__.py")
+        assert not [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA404"]
+
+    def test_rpa404_plain_module_is_exempt(self, tmp_path):
+        # Only package __init__ files need docstrings under RPA404.
+        m = _module(tmp_path, """\
+            X = 1
+        """, rel="src/repro/negf/example.py")
+        assert not [f for f in _check(ContractsChecker(), m)
+                    if f.code == "RPA404"]

@@ -1,0 +1,72 @@
+"""Every intra-repo markdown link must point at an existing file.
+
+Scans the top-level docs (README, DESIGN, EXPERIMENTS, ROADMAP,
+CHANGES) plus everything under docs/ for inline links and verifies the
+relative targets resolve — the check CI's docs job runs, so a renamed
+file or a typo'd cross-link fails before it ships.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _markdown_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def _intra_repo_targets(path: Path) -> list[tuple[str, Path]]:
+    """(raw link, resolved path) for every relative link in ``path``."""
+    out = []
+    inside_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            inside_fence = not inside_fence
+            continue
+        if inside_fence:
+            continue
+        for raw in _LINK_RE.findall(line):
+            if raw.startswith(_EXTERNAL) or raw.startswith("#"):
+                continue
+            target = raw.split("#", 1)[0]
+            if not target:
+                continue
+            out.append((raw, (path.parent / target).resolve()))
+    return out
+
+
+def test_scan_covers_the_new_docs_tree():
+    names = {p.name for p in _markdown_files()}
+    assert {"README.md", "DESIGN.md", "EXPERIMENTS.md", "architecture.md",
+            "observability.md", "cli.md",
+            "experiments-workflow.md"} <= names
+
+
+@pytest.mark.parametrize("md_file", _markdown_files(),
+                         ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(md_file):
+    broken = [raw for raw, resolved in _intra_repo_targets(md_file)
+              if not resolved.exists()]
+    assert not broken, (
+        f"{md_file.relative_to(REPO_ROOT)} has broken intra-repo "
+        f"link(s): {broken}")
+
+
+def test_docs_pages_are_cross_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in ("docs/architecture.md", "docs/observability.md",
+                 "docs/cli.md", "docs/experiments-workflow.md"):
+        assert page in readme, f"README.md does not link {page}"

@@ -1,0 +1,15 @@
+"""Keep the process-wide recorder and flag pristine between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
