@@ -38,8 +38,8 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "sanitize": frozenset({"constants", "errors"}),
     "analysis": frozenset({"errors"}),
     "atomistic": frozenset({"constants", "errors"}),
-    "poisson": frozenset({"atomistic"}),
-    "negf": frozenset({"atomistic", "sanitize", "obs"}),
+    "poisson": frozenset({"atomistic", "obs"}),
+    "negf": frozenset({"atomistic", "sanitize", "obs", "runtime"}),
     "device": frozenset({"negf", "poisson", "runtime", "sanitize", "obs"}),
     "circuit": frozenset({"device", "obs"}),
     "cmos": frozenset({"circuit"}),

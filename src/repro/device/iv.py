@@ -5,10 +5,13 @@ and ``Q(V_G, V_D)`` data that Section 3 of the paper stores in lookup
 tables "at discrete voltage steps of V_GS and V_DS ranging from 0 V to
 0.75 V".
 
-Bias points are mutually independent, so the grid fans out across worker
-processes through :func:`repro.runtime.parallel_map` (one task per gate
-row); every bias point runs the identical solver either way, so parallel
-and serial sweeps are bit-for-bit equal.
+The grid fans out across worker processes through
+:func:`repro.runtime.parallel_map` with one task per gate row; within a
+row each converged midgap warm-starts the next drain point (SCF
+continuation, disabled by ``REPRO_NO_WARMSTART``), and rows always cold
+start.  Serial sweeps run the identical per-row helper, so parallel and
+serial sweeps are bit-for-bit equal regardless of worker count or
+chunking.
 """
 
 from __future__ import annotations
@@ -71,20 +74,38 @@ class IVSweep:
 
 
 def _solve_iv_row(geometry: GNRFETGeometry, vd_grid: np.ndarray,
-                  n_modes: int | None, vg: float
+                  n_modes: int | None, vg: float,
+                  model: SBFETModel | None = None
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One gate row of the sweep (module-level so it pickles to workers).
 
-    The model is rebuilt per row; its construction is deterministic from
-    the geometry, so row results do not depend on how rows are batched.
+    When no ``model`` is supplied (worker processes) one is rebuilt from
+    the geometry; construction is deterministic, so row results do not
+    depend on how rows are batched.  Each converged midgap warm-starts
+    the next drain point of the *same* row (continuation along V_D);
+    rows always cold-start, which makes serial and parallel sweeps —
+    where the row is the unit of work — bit-for-bit identical.
     """
-    model = SBFETModel(geometry, n_modes=n_modes)
+    if model is None:
+        model = SBFETModel(geometry, n_modes=n_modes)
     n_vd = vd_grid.size
     current = np.empty(n_vd)
     charge = np.empty(n_vd)
     midgap = np.empty(n_vd)
     for j, vd in enumerate(vd_grid):
-        sol = model.solve_bias(float(vg), float(vd))
+        # Continuation guess: linear extrapolation of the two previous
+        # converged midgaps.  The midgap is nearly linear in V_D over a
+        # sweep step, so the extrapolation error (~the second difference)
+        # is an order of magnitude below the step itself and the warm
+        # bracket almost always holds on its first, tightest width.
+        if j >= 2:
+            guess = 2.0 * midgap[j - 1] - midgap[j - 2]
+        elif j == 1:
+            guess = midgap[0]
+        else:
+            guess = None
+        sol = model.solve_bias(float(vg), float(vd),
+                               initial_midgap_ev=guess)
         current[j] = sol.current_a
         charge[j] = sol.charge_c
         midgap[j] = sol.midgap_ev
@@ -118,14 +139,17 @@ def sweep_iv(
     with obs.span("device.sweep_iv", n_index=geometry.n_index,
                   grid=f"{vg_grid.size}x{vd_grid.size}"):
         if resolve_workers(workers) <= 1:
-            # Serial fast path: one model serves every row.
+            # Serial fast path: one model serves every row.  The rows run
+            # through the same helper as the parallel path (per-row
+            # warm-start continuation, cold start at row boundaries), so
+            # serial and parallel sweeps stay bit-for-bit identical.
             model = SBFETModel(geometry, n_modes=n_modes)
             for i, vg in enumerate(vg_grid):
-                for j, vd in enumerate(vd_grid):
-                    sol = model.solve_bias(float(vg), float(vd))
-                    current[i, j] = sol.current_a
-                    charge[i, j] = sol.charge_c
-                    midgap[i, j] = sol.midgap_ev
+                cur_row, chg_row, mid_row = _solve_iv_row(
+                    geometry, vd_grid, n_modes, float(vg), model=model)
+                current[i] = cur_row
+                charge[i] = chg_row
+                midgap[i] = mid_row
         else:
             rows = parallel_map(
                 partial(_solve_iv_row, geometry, vd_grid, n_modes),

@@ -51,9 +51,10 @@ from repro.negf.energy_grid import adaptive_energy_grid
 from repro.negf.mixing import AndersonMixer
 from repro.negf.scf import SCFOptions, SCFResult, self_consistent_loop
 from repro.negf.self_energy import lead_self_energy_1d
-from repro.poisson.fd import solve_poisson_2d
+from repro.poisson.fd import PoissonOperator
 from repro.poisson.grid import Grid2D
 from repro.poisson.pointcharge import screened_impurity_potential_ev
+from repro.runtime.accel import warmstart_enabled
 
 
 @dataclass
@@ -207,6 +208,24 @@ class NEGFDevice:
         self._eps = np.full(self._grid.shape, geometry.eps_ox)
         self._impurity_profile = self._impurity_potential_ev()
 
+        # Boundary conditions: the *placement* of Dirichlet nodes (both
+        # gate rails, source and drain columns) is bias-independent, and
+        # only the gate/drain values change per bias — so the mask, the
+        # values template, and the prefactorized Poisson operator are all
+        # built once here.  Every SCF iteration of every bias point then
+        # reuses the same LU factorization through the RHS.  Assignment
+        # order matters for the corner nodes: contact columns are pinned
+        # after the gate rails so corners take the contact potential.
+        mask = np.zeros(self._grid.shape, dtype=bool)
+        mask[:, 0] = True
+        mask[:, -1] = True
+        mask[0, :] = True
+        mask[-1, :] = True
+        self._bc_mask = mask
+        self._bc_values = np.zeros(self._grid.shape)
+        self._poisson_op = PoissonOperator.for_grid(self._grid, self._eps,
+                                                    mask)
+
     # ------------------------------------------------------------------ #
     # Electrostatics
     # ------------------------------------------------------------------ #
@@ -241,18 +260,13 @@ class NEGFDevice:
         sheet = -Q_E * np.asarray(net_density_per_nm) / w_eff  # C/nm^2
         rho[:, self._channel_row] = sheet / g.dy_nm
 
-        mask = np.zeros(g.shape, dtype=bool)
-        values = np.zeros(g.shape)
-        mask[:, 0] = True
+        values = self._bc_values
         values[:, 0] = vg
-        mask[:, -1] = True
         values[:, -1] = vg
-        mask[0, :] = True
         values[0, :] = 0.0
-        mask[-1, :] = True
         values[-1, :] = vd
 
-        phi = solve_poisson_2d(g, self._eps, rho, mask, values)
+        phi = self._poisson_op.solve(rho, values)
         return -phi[:, self._channel_row] + self._impurity_profile
 
     # ------------------------------------------------------------------ #
@@ -334,8 +348,17 @@ class NEGFDevice:
     # ------------------------------------------------------------------ #
     def solve(self, vg: float, vd: float,
               tolerance_ev: float = 1e-3,
-              max_iterations: int = 60) -> NEGFDeviceResult:
-        """Self-consistently solve one bias point."""
+              max_iterations: int = 60,
+              initial_midgap_ev: np.ndarray | None = None
+              ) -> NEGFDeviceResult:
+        """Self-consistently solve one bias point.
+
+        ``initial_midgap_ev`` optionally seeds the SCF fixed point with a
+        previously converged midgap profile (warm-start continuation for
+        bias sweeps).  The converged answer is unchanged within
+        ``tolerance_ev``; only the iteration count drops.  Ignored when
+        ``REPRO_NO_WARMSTART`` is set.
+        """
         # The SCF loop's last solve_charge call is always evaluated at the
         # potential it returns (on convergence it recomputes), so the
         # carriers/current recorded here describe the final state and no
@@ -350,7 +373,15 @@ class NEGFDevice:
         def solve_potential(net: np.ndarray) -> np.ndarray:
             return self._solve_poisson_midgap(net, vg, vd)
 
-        u0 = self._solve_poisson_midgap(np.zeros_like(self.x_nm), vg, vd)
+        warm = (initial_midgap_ev is not None and warmstart_enabled())
+        if warm:
+            u0 = np.asarray(initial_midgap_ev, dtype=float)
+            if u0.shape != self.x_nm.shape:
+                raise ValueError(
+                    f"initial_midgap_ev has shape {u0.shape}, expected "
+                    f"{self.x_nm.shape}")
+        else:
+            u0 = self._solve_poisson_midgap(np.zeros_like(self.x_nm), vg, vd)
         options = SCFOptions(tolerance_ev=tolerance_ev,
                              max_iterations=max_iterations,
                              mixer=AndersonMixer(beta=0.15, history=6),
@@ -360,6 +391,13 @@ class NEGFDevice:
                                        options)
         if obs.ACTIVE:
             obs.incr("device.bias_points")
+            if warm:
+                obs.incr("scf.warm_starts")
+                obs.incr("scf.warm_solves")
+                obs.incr("scf.warm_iterations", scf.iterations)
+            else:
+                obs.incr("scf.cold_solves")
+                obs.incr("scf.cold_iterations", scf.iterations)
 
         u = scf.potential
         if sanitize.ACTIVE:

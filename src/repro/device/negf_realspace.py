@@ -45,9 +45,10 @@ from repro.atomistic.hamiltonian import (
 )
 from repro.atomistic.lattice import ArmchairGNR
 from repro.errors import InvalidDeviceError
-from repro.negf.greens import recursive_greens_function
+from repro.negf.greens import recursive_greens_function, rgf_transmission_batched
 from repro.negf.self_energy import (
     sancho_rubio_surface_gf,
+    sancho_rubio_surface_gf_batched,
     self_energy_from_surface_gf,
 )
 
@@ -135,14 +136,49 @@ class RealSpaceGNRDevice:
             eta_ev)
         return max(result.transmission, 0.0)
 
-    def transport(self, energies_ev: np.ndarray,
-                  eta_ev: float = 1e-6) -> RealSpaceTransport:
-        """Transmission over an energy grid."""
+    def lead_self_energies_batched(
+            self, energies_ev: np.ndarray, eta_ev: float = 1e-6
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(Sigma_L, Sigma_R)``, shape ``(n_energy, b, b)``.
+
+        Energy-batched counterpart of :meth:`lead_self_energies`: the
+        Sancho-Rubio decimation runs once per lead with every energy
+        carried in the stacked iteration.
+        """
         energies_ev = np.asarray(energies_ev, dtype=float)
-        trans = np.array([self.transmission_at(float(e), eta_ev)
-                          for e in energies_ev])
+        g_left = sancho_rubio_surface_gf_batched(
+            energies_ev, self._h00, self._h01.T, eta_ev)
+        sigma_l = self_energy_from_surface_gf(g_left, self._h01.T)
+        g_right = sancho_rubio_surface_gf_batched(
+            energies_ev, self._h00, self._h01, eta_ev)
+        sigma_r = self_energy_from_surface_gf(g_right, self._h01)
+        return sigma_l, sigma_r
+
+    def transport(self, energies_ev: np.ndarray,
+                  eta_ev: float = 1e-6,
+                  batched: bool = True) -> RealSpaceTransport:
+        """Transmission over an energy grid.
+
+        By default every energy is carried simultaneously through the
+        stacked Sancho-Rubio + RGF kernels (identical output to the
+        per-energy loop to numerical round-off).  ``batched=False``
+        forces the legacy per-energy loop — the reference path the
+        batched kernels are validated against in the test suite.
+        """
+        energies_ev = np.asarray(energies_ev, dtype=float)
+        if not batched or energies_ev.size == 0:
+            trans = np.array([self.transmission_at(float(e), eta_ev)
+                              for e in energies_ev])
+            return RealSpaceTransport(energies_ev=energies_ev,
+                                      transmission=trans)
+        sigma_l, sigma_r = self.lead_self_energies_batched(
+            energies_ev, eta_ev)
+        trans = rgf_transmission_batched(
+            energies_ev, self.diagonal, self.coupling, sigma_l, sigma_r,
+            eta_ev)
+        # Same clamp as transmission_at: tiny negative round-off -> 0.
         return RealSpaceTransport(energies_ev=energies_ev,
-                                  transmission=trans)
+                                  transmission=np.maximum(trans, 0.0))
 
 
 def longitudinal_onsite(ribbon: ArmchairGNR,

@@ -28,7 +28,12 @@ from repro import obs
 from repro.device.geometry import GNRFETGeometry
 from repro.device.iv import IVSweep, sweep_iv
 from repro.errors import TableRangeError
-from repro.runtime import TABLE_ENGINE_VERSION, ArtifactCache, content_key
+from repro.runtime import (
+    TABLE_ENGINE_VERSION,
+    ArtifactCache,
+    content_key,
+    warmstart_enabled,
+)
 
 
 def _bilinear(axis_x: np.ndarray, axis_y: np.ndarray, grid: np.ndarray,
@@ -346,11 +351,14 @@ def table_cache_key(
 
     Any change to the geometry (including nested impurity fields), either
     bias grid, the retained mode count, or the engine version tag yields
-    a different key, so stale artifacts are orphaned, never reused.
+    a different key, so stale artifacts are orphaned, never reused.  The
+    warm-start state is part of the key: continuation moves converged
+    midgaps within the bisection tolerance, and a ``REPRO_NO_WARMSTART``
+    run must not silently reuse (or poison) warm-started artifacts.
     """
     return content_key("device-table", version, geometry,
                        np.asarray(vg_grid, float), np.asarray(vd_grid, float),
-                       n_modes)
+                       n_modes, warmstart_enabled())
 
 
 def _disk_cache() -> ArtifactCache:
@@ -385,7 +393,8 @@ def build_device_table(
     """
     vg_grid = DEFAULT_VG_GRID if vg_grid is None else np.asarray(vg_grid, float)
     vd_grid = DEFAULT_VD_GRID if vd_grid is None else np.asarray(vd_grid, float)
-    key = (geometry, tuple(vg_grid), tuple(vd_grid), n_modes)
+    key = (geometry, tuple(vg_grid), tuple(vd_grid), n_modes,
+           warmstart_enabled())
     if use_cache and key in _TABLE_CACHE:
         if obs.ACTIVE:
             obs.incr("cache.table_memory_hits")

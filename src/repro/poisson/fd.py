@@ -14,7 +14,14 @@ for the electrostatic potential ``phi`` (volts) with
 * homogeneous Neumann (zero normal flux) on every other boundary node,
   which arises naturally from dropping the missing-face flux.
 
-A single dimension-agnostic assembler serves the 1-D/2-D/3-D wrappers.
+Operator assembly is split from solving: a :class:`PoissonOperator`
+assembles the FD matrix once per (grid, permittivity, Dirichlet mask)
+and holds a sparse LU factorization of the free-node block, so each
+subsequent solve — bias and charge enter only through the right-hand
+side — is two triangular substitutions.  One operator therefore serves
+every SCF iteration of every bias point of a sweep.  The
+``solve_poisson_1d/2d/3d`` functions remain as one-shot compatibility
+wrappers over a throwaway operator.
 """
 
 from __future__ import annotations
@@ -23,54 +30,33 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.constants import EPS_0_F_PER_NM
 from repro.poisson.grid import Grid1D, Grid2D, Grid3D
 
 
-def _assemble_and_solve(
+def _assemble_matrix(
     shape: tuple[int, ...],
     spacings: tuple[float, ...],
     eps_r: np.ndarray,
-    rho: np.ndarray,
-    dirichlet_mask: np.ndarray,
-    dirichlet_values: np.ndarray,
-) -> np.ndarray:
-    """Assemble the FD operator and solve; shared by all dimensions."""
+) -> tuple[sp.csr_matrix, float]:
+    """Assemble the (negative-divergence, SPD) FD operator.
+
+    Returns ``(A, cell_volume)`` where ``A phi = rho V / eps_0`` before
+    Dirichlet elimination.  The node volume is the cell-centered control
+    volume ``prod(spacings)``; boundary half-cells are absorbed into the
+    same expression, which is second-order accurate in the interior and
+    first order at Neumann boundaries — adequate for the smooth gate
+    fields simulated here.
+    """
     ndim = len(shape)
     n_total = int(np.prod(shape))
-
-    eps_r = np.asarray(eps_r, dtype=float)
-    rho = np.asarray(rho, dtype=float)
-    dirichlet_mask = np.asarray(dirichlet_mask, dtype=bool)
-    dirichlet_values = np.asarray(dirichlet_values, dtype=float)
-    for name, arr in (("eps_r", eps_r), ("rho", rho),
-                      ("dirichlet_mask", dirichlet_mask),
-                      ("dirichlet_values", dirichlet_values)):
-        if arr.shape != shape:
-            raise ValueError(f"{name} has shape {arr.shape}, expected {shape}")
-    if np.any(eps_r <= 0.0):
-        raise ValueError("relative permittivity must be positive everywhere")
-    if not np.any(dirichlet_mask):
-        raise ValueError(
-            "at least one Dirichlet node is required (otherwise the "
-            "Neumann problem is singular)")
-
-    # Node volume for the source term (cell-centered control volumes of
-    # size prod(spacings); boundary half-cells are absorbed into the same
-    # expression, which is second-order accurate in the interior and first
-    # order at Neumann boundaries - adequate for the smooth gate fields
-    # simulated here).
     cell_volume = float(np.prod(spacings))
 
     rows: list[np.ndarray] = []
     cols: list[np.ndarray] = []
     vals: list[np.ndarray] = []
     diag = np.zeros(n_total)
-    # The assembled operator is the *negative* divergence (SPD), so
-    # A phi = +rho V / eps_0.
-    rhs = (rho.ravel() * cell_volume) / EPS_0_F_PER_NM
-
-    strides = np.array([int(np.prod(shape[d + 1:])) for d in range(ndim)])
     flat_index = np.arange(n_total).reshape(shape)
 
     for axis in range(ndim):
@@ -109,22 +95,114 @@ def _assemble_and_solve(
     a = sp.csr_matrix(
         (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
         shape=(n_total, n_total))
+    return a, cell_volume
 
-    # Impose Dirichlet rows: phi_i = value_i, and move known values to the
-    # right-hand side of the remaining equations.
-    mask = dirichlet_mask.ravel()
-    values = dirichlet_values.ravel()
-    free = ~mask
 
-    b = rhs - a @ (values * mask)
-    a_ff = a[free][:, free].tocsc()
-    b_f = b[free]
+class PoissonOperator:
+    """Prefactorized FD Poisson operator for one (grid, eps, mask) triple.
 
-    phi = np.empty(n_total)
-    phi[mask] = values[mask]
-    if np.any(free):
-        phi[free] = spla.spsolve(a_ff, b_f)
-    return phi.reshape(shape)
+    Assembly and LU factorization of the free-node block happen once in
+    the constructor; :meth:`solve` then costs two sparse triangular
+    substitutions per call.  Charge density and Dirichlet *values* vary
+    per solve — the Dirichlet *mask* (which nodes are pinned) is part of
+    the operator, because eliminating different node sets changes the
+    factorized matrix.
+
+    Parameters
+    ----------
+    shape, spacings:
+        Grid shape and per-axis node spacings (nm); pass ``grid.shape``
+        and ``grid.spacings`` of a :class:`~repro.poisson.grid.Grid1D`/
+        ``Grid2D``/``Grid3D``, or use :meth:`for_grid`.
+    eps_r:
+        Relative permittivity per node, same shape as the grid.
+    dirichlet_mask:
+        Boolean array marking pinned nodes (at least one required).
+    """
+
+    def __init__(self, shape: tuple[int, ...], spacings: tuple[float, ...],
+                 eps_r: np.ndarray, dirichlet_mask: np.ndarray):
+        shape = tuple(int(n) for n in shape)
+        eps_r = np.asarray(eps_r, dtype=float)
+        dirichlet_mask = np.asarray(dirichlet_mask, dtype=bool)
+        for name, arr in (("eps_r", eps_r),
+                          ("dirichlet_mask", dirichlet_mask)):
+            if arr.shape != shape:
+                raise ValueError(f"{name} has shape {arr.shape}, "
+                                 f"expected {shape}")
+        if np.any(eps_r <= 0.0):
+            raise ValueError("relative permittivity must be positive everywhere")
+        if not np.any(dirichlet_mask):
+            raise ValueError(
+                "at least one Dirichlet node is required (otherwise the "
+                "Neumann problem is singular)")
+
+        self.shape = shape
+        self.spacings = tuple(float(h) for h in spacings)
+        self.matrix, self._cell_volume = _assemble_matrix(
+            shape, self.spacings, eps_r)
+        self._mask = dirichlet_mask.ravel()
+        self._free = ~self._mask
+        self._any_free = bool(np.any(self._free))
+        # Sparse LU of the free-node block: the one-time O(n^1.5) cost
+        # that turns every later solve into two triangular substitutions.
+        self._lu = (spla.splu(self.matrix[self._free][:, self._free].tocsc())
+                    if self._any_free else None)
+        if obs.ACTIVE:
+            obs.incr("poisson.factor_builds")
+
+    @classmethod
+    def for_grid(cls, grid: Grid1D | Grid2D | Grid3D, eps_r: np.ndarray,
+                 dirichlet_mask: np.ndarray) -> "PoissonOperator":
+        """Operator on a structured grid object (any dimensionality)."""
+        return cls(grid.shape, grid.spacings, eps_r, dirichlet_mask)
+
+    def solve(self, rho: np.ndarray,
+              dirichlet_values: np.ndarray) -> np.ndarray:
+        """Potential for one charge density + Dirichlet-value assignment.
+
+        ``rho`` is in C/nm^d; ``dirichlet_values`` supplies the pinned
+        potentials on masked nodes (entries outside the mask are
+        ignored).  Only the right-hand side depends on these inputs, so
+        repeated calls reuse the stored factorization.
+        """
+        rho = np.asarray(rho, dtype=float)
+        dirichlet_values = np.asarray(dirichlet_values, dtype=float)
+        for name, arr in (("rho", rho),
+                          ("dirichlet_values", dirichlet_values)):
+            if arr.shape != self.shape:
+                raise ValueError(f"{name} has shape {arr.shape}, "
+                                 f"expected {self.shape}")
+
+        # The assembled operator is the *negative* divergence (SPD), so
+        # A phi = +rho V / eps_0.
+        rhs = (rho.ravel() * self._cell_volume) / EPS_0_F_PER_NM
+        values = dirichlet_values.ravel()
+        # Impose Dirichlet rows: phi_i = value_i, and move known values
+        # to the right-hand side of the remaining equations.
+        b = rhs - self.matrix @ (values * self._mask)
+
+        phi = np.empty(self._mask.size)
+        phi[self._mask] = values[self._mask]
+        if self._lu is not None:
+            phi[self._free] = self._lu.solve(b[self._free])
+        if obs.ACTIVE:
+            obs.incr("poisson.factor_solves")
+        return phi.reshape(self.shape)
+
+
+def _assemble_and_solve(
+    shape: tuple[int, ...],
+    spacings: tuple[float, ...],
+    eps_r: np.ndarray,
+    rho: np.ndarray,
+    dirichlet_mask: np.ndarray,
+    dirichlet_values: np.ndarray,
+) -> np.ndarray:
+    """One-shot assemble + solve; shared by the dimension wrappers."""
+    op = PoissonOperator(shape, spacings, np.asarray(eps_r, dtype=float),
+                         dirichlet_mask)
+    return op.solve(rho, dirichlet_values)
 
 
 def solve_poisson_1d(

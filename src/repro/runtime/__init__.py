@@ -18,8 +18,18 @@ Environment knobs
 ``REPRO_TRACE``
     Enables :mod:`repro.obs` tracing; worker processes inherit it and
     forward their recorded metrics back to the parent in chunk order.
+``REPRO_NO_WARMSTART``
+    Any non-empty value disables SCF warm-start continuation in every
+    sweep driver (cold starts everywhere; see :mod:`repro.runtime.accel`).
 """
 
+from repro.runtime.accel import (
+    NO_WARMSTART_ENV,
+    batched_inverse,
+    batched_trace,
+    stacked_identity,
+    warmstart_enabled,
+)
 from repro.runtime.cache import (
     CACHE_DIR_ENV,
     NO_CACHE_ENV,
@@ -45,9 +55,12 @@ __all__ = [
     "ArtifactCache",
     "CACHE_DIR_ENV",
     "NO_CACHE_ENV",
+    "NO_WARMSTART_ENV",
     "TABLE_ENGINE_VERSION",
     "WORKERS_ENV",
     "batch_indices",
+    "batched_inverse",
+    "batched_trace",
     "cache_enabled",
     "cache_root",
     "canonical_repr",
@@ -58,4 +71,6 @@ __all__ = [
     "parallel_map",
     "resolve_workers",
     "spawn_seed_sequences",
+    "stacked_identity",
+    "warmstart_enabled",
 ]

@@ -1,0 +1,74 @@
+"""Solver acceleration substrate: warm-start gating + batched linear algebra.
+
+Layer: cross-cutting utility under :mod:`repro.runtime` (imports only
+``errors``/``obs``), importable from the physics layers.  Responsibility:
+the *generic* pieces of the solver acceleration layer —
+
+* **warm-start gating** — sweep drivers thread each converged solution
+  into the adjacent bias point (SCF continuation).  The
+  ``REPRO_NO_WARMSTART`` escape hatch restores cold starts everywhere
+  (bit-for-bit the pre-continuation behavior) for debugging and for
+  A/B benchmarking; :func:`warmstart_enabled` is the single gate every
+  engine consults.
+* **energy-batched dense kernels** — the real-space NEGF path carries a
+  leading energy axis through every block recurrence
+  (``np.linalg.solve`` broadcasts over leading dimensions), replacing
+  per-energy Python loops.  The helpers here build the stacked
+  identities and inverses those recurrences share.
+
+The physics-specific surgery lives next to the physics: prefactorized
+Poisson operators in :mod:`repro.poisson.fd`, continuation-aware SCF in
+:mod:`repro.device`, batched Sancho-Rubio and RGF recurrences in
+:mod:`repro.negf`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Any non-empty, non-falsey value disables SCF warm-start continuation
+#: in every sweep driver (cold starts everywhere, the pre-acceleration
+#: behavior).
+NO_WARMSTART_ENV = "REPRO_NO_WARMSTART"
+
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def warmstart_enabled() -> bool:
+    """True unless ``REPRO_NO_WARMSTART`` disables SCF continuation.
+
+    Checked at every solve (not cached at import), so tests and drivers
+    can flip the environment mid-process.
+    """
+    return os.environ.get(NO_WARMSTART_ENV, "").strip().lower() in _FALSEY
+
+
+def stacked_identity(n_batch: int, n: int) -> np.ndarray:
+    """``(n_batch, n, n)`` complex array holding one identity per batch.
+
+    The right-hand side shared by every batched inversion below; built
+    once per kernel invocation and reused across recurrence steps.
+    """
+    eye = np.eye(n, dtype=complex)
+    return np.broadcast_to(eye, (n_batch, n, n)).copy()
+
+
+def batched_inverse(matrices: np.ndarray) -> np.ndarray:
+    """Inverse of a stack of square matrices via one LAPACK call.
+
+    ``matrices`` has shape ``(..., n, n)``; the solve against a
+    broadcast identity runs over all leading axes simultaneously, which
+    is the primitive the energy-batched NEGF recurrences are built on.
+    """
+    matrices = np.asarray(matrices)
+    n = matrices.shape[-1]
+    eye = np.eye(n, dtype=matrices.dtype)
+    return np.linalg.solve(matrices, np.broadcast_to(
+        eye, matrices.shape).copy())
+
+
+def batched_trace(matrices: np.ndarray) -> np.ndarray:
+    """Trace along the last two axes of a matrix stack: ``(..., n, n) -> (...)``."""
+    return np.trace(np.asarray(matrices), axis1=-2, axis2=-1)

@@ -47,7 +47,9 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 
 #: Version tag of the fast SBFET table engine.  Bump when the engine's
 #: physics or numerics change so previously cached tables are not reused.
-TABLE_ENGINE_VERSION = "sbfet-v1"
+#: v2: warm-start continuation along V_D rows (converged midgaps move
+#: within the bisection tolerance relative to cold-started v1 tables).
+TABLE_ENGINE_VERSION = "sbfet-v2"
 
 
 def cache_enabled() -> bool:

@@ -1,0 +1,158 @@
+"""SCF warm-start continuation: same physics, fewer iterations.
+
+Sweep drivers thread converged midgaps into adjacent bias points
+(``initial_midgap_ev``).  The contract under test: (a) the converged
+answer is the cold answer within the solver tolerance, (b) the escape
+hatch ``REPRO_NO_WARMSTART`` restores cold starts bit-for-bit, (c) the
+continuation actually reduces iterations on a sweep, and (d) the
+cold/warm observability counters tell the two populations apart.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.device.geometry import GNRFETGeometry
+from repro.device.iv import sweep_iv
+from repro.device.negf_device import NEGFDevice
+from repro.device.sbfet import SBFETModel
+from repro.runtime import warmstart_enabled
+
+
+@pytest.fixture()
+def model():
+    return SBFETModel(GNRFETGeometry())
+
+
+class TestSBFETWarmStart:
+    def test_root_matches_cold_within_tolerance(self, model):
+        """Warm and cold bisection land on the same root: both are within
+        tol_ev of the exact fixed point, so they differ by < 2 tol."""
+        tol = 1e-6
+        vgs = np.linspace(0.0, 0.75, 13)
+        prev = None
+        for vg in vgs:
+            cold = model.solve_bias(float(vg), 0.5)
+            warm = model.solve_bias(float(vg), 0.5, initial_midgap_ev=prev)
+            assert abs(warm.midgap_ev - cold.midgap_ev) < 2.0 * tol
+            # The current is a smooth function of the midgap with
+            # logarithmic slope >= 1/kT, so a < 2 tol midgap shift moves
+            # it by a relative ~1e-4 at most.
+            assert warm.current_a == pytest.approx(
+                cold.current_a, rel=1e-3, abs=1e-18)
+            prev = warm.midgap_ev
+
+    def test_sweep_iterations_drop(self, model):
+        """Continuation along a 13-point sweep cuts total bisection
+        iterations by >= 30% (the acceptance threshold of the solver
+        acceleration work)."""
+        vgs = np.linspace(0.0, 0.75, 13)
+        cold_total = sum(
+            model.solve_bias(float(vg), 0.5).iterations for vg in vgs)
+        warm_total = 0
+        mids: list[float] = []
+        for j, vg in enumerate(vgs):
+            if j >= 2:
+                guess = 2.0 * mids[-1] - mids[-2]
+            elif j == 1:
+                guess = mids[0]
+            else:
+                guess = None
+            sol = model.solve_bias(float(vg), 0.5, initial_midgap_ev=guess)
+            warm_total += sol.iterations
+            mids.append(sol.midgap_ev)
+        assert warm_total <= 0.7 * cold_total
+
+    def test_escape_hatch_restores_cold_bitwise(self, model, monkeypatch):
+        cold = model.solve_bias(0.4, 0.5)
+        monkeypatch.setenv("REPRO_NO_WARMSTART", "1")
+        assert not warmstart_enabled()
+        gated = model.solve_bias(0.4, 0.5,
+                                 initial_midgap_ev=cold.midgap_ev + 0.01)
+        assert gated.midgap_ev == cold.midgap_ev
+        assert gated.current_a == cold.current_a
+        assert gated.iterations == cold.iterations
+
+    def test_bad_guess_falls_back_to_cold_bracket(self, model):
+        """A wildly wrong guess must not corrupt the root — the bracket
+        expansion gives up and cold-starts."""
+        cold = model.solve_bias(0.3, 0.4)
+        warm = model.solve_bias(0.3, 0.4, initial_midgap_ev=cold.midgap_ev - 5.0)
+        assert abs(warm.midgap_ev - cold.midgap_ev) < 2e-6
+
+
+class TestSweepDrivers:
+    def test_serial_equals_parallel_with_warmstart(self):
+        """The row is the unit of continuation, so worker count cannot
+        change results."""
+        geometry = GNRFETGeometry()
+        vg = np.linspace(0.0, 0.6, 3)
+        vd = np.linspace(0.0, 0.6, 4)
+        serial = sweep_iv(geometry, vg, vd, workers=1)
+        parallel = sweep_iv(geometry, vg, vd, workers=2)
+        assert np.array_equal(serial.current_a, parallel.current_a)
+        assert np.array_equal(serial.midgap_ev, parallel.midgap_ev)
+
+    def test_sweep_matches_cold_pointwise(self, model, monkeypatch):
+        geometry = GNRFETGeometry()
+        vg = np.array([0.2, 0.5])
+        vd = np.linspace(0.0, 0.6, 5)
+        warm = sweep_iv(geometry, vg, vd)
+        monkeypatch.setenv("REPRO_NO_WARMSTART", "1")
+        cold = sweep_iv(geometry, vg, vd)
+        assert np.allclose(warm.midgap_ev, cold.midgap_ev, atol=2e-6)
+        assert np.allclose(warm.current_a, cold.current_a,
+                           rtol=1e-3, atol=1e-18)
+
+
+class TestNEGFDeviceWarmStart:
+    @pytest.fixture(scope="class")
+    def device(self):
+        return NEGFDevice(GNRFETGeometry(n_index=12), n_x=31, n_y=9,
+                          n_modes=1)
+
+    def test_warm_profile_converges_to_cold_answer(self, device):
+        tol = 1e-3
+        cold = device.solve(0.4, 0.1, tolerance_ev=tol)
+        warm = device.solve(0.4, 0.1, tolerance_ev=tol,
+                            initial_midgap_ev=cold.midgap_ev)
+        assert np.max(np.abs(warm.midgap_ev - cold.midgap_ev)) < 2.0 * tol
+        assert warm.scf.iterations <= cold.scf.iterations
+
+    def test_profile_shape_validated(self, device):
+        with pytest.raises(ValueError, match="initial_midgap_ev"):
+            device.solve(0.4, 0.1, initial_midgap_ev=np.zeros(3))
+
+    def test_escape_hatch(self, device, monkeypatch):
+        cold = device.solve(0.2, 0.1)
+        monkeypatch.setenv("REPRO_NO_WARMSTART", "1")
+        gated = device.solve(0.2, 0.1, initial_midgap_ev=cold.midgap_ev)
+        assert np.array_equal(gated.midgap_ev, cold.midgap_ev)
+        assert gated.scf.iterations == cold.scf.iterations
+
+
+class TestWarmStartCounters:
+    @pytest.fixture()
+    def traced(self, monkeypatch):
+        monkeypatch.setattr(obs, "ACTIVE", True)
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_cold_and_warm_solves_counted_separately(self, traced, model):
+        cold = model.solve_bias(0.3, 0.5)
+        model.solve_bias(0.35, 0.5, initial_midgap_ev=cold.midgap_ev)
+        counters = obs.snapshot()["counters"]
+        assert counters["scf.cold_solves"] == 1
+        assert counters["scf.warm_solves"] == 1
+        assert counters["scf.warm_starts"] == 1
+        assert counters["scf.cold_iterations"] == cold.iterations
+        assert counters["scf.warm_iterations"] < counters["scf.cold_iterations"]
+
+    def test_gated_warm_start_counts_as_cold(self, traced, model,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_NO_WARMSTART", "1")
+        model.solve_bias(0.3, 0.5, initial_midgap_ev=0.1)
+        counters = obs.snapshot()["counters"]
+        assert counters.get("scf.warm_starts", 0) == 0
+        assert counters["scf.cold_solves"] == 1
