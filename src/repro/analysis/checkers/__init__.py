@@ -4,7 +4,8 @@ Layer: inside :mod:`repro.analysis` (cross-cutting tooling; imports
 only ``errors``).  Responsibility: enumerate the rule families the
 engine runs — RPA1xx determinism, RPA2xx units, RPA3xx layering,
 RPA4xx API contracts (annotations, defaults, frozen results, package
-docstrings) — so `python -m repro.analysis` and `repro lint` agree on
+docstrings), RPA5xx resilience (no broad exception handlers outside
+the recovery layer) — so `python -m repro.analysis` and `repro lint` agree on
 the rule set.  Add new checkers here (``default_checkers``) and their
 codes surface automatically in ``all_codes`` / ``--list-codes``.
 """
@@ -15,6 +16,7 @@ from repro.analysis.checkers.base import Checker
 from repro.analysis.checkers.contracts import ContractsChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.layering import LayeringChecker
+from repro.analysis.checkers.resilience import ResilienceChecker
 from repro.analysis.checkers.units import UnitsChecker
 
 __all__ = [
@@ -22,6 +24,7 @@ __all__ = [
     "ContractsChecker",
     "DeterminismChecker",
     "LayeringChecker",
+    "ResilienceChecker",
     "UnitsChecker",
     "all_codes",
     "default_checkers",
@@ -31,7 +34,7 @@ __all__ = [
 def default_checkers() -> list[Checker]:
     """Fresh instances of every registered checker, in report order."""
     return [DeterminismChecker(), UnitsChecker(), LayeringChecker(),
-            ContractsChecker()]
+            ContractsChecker(), ResilienceChecker()]
 
 
 def all_codes() -> dict[str, str]:

@@ -24,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description="Physics-aware static analysis for the repro tree "
                     "(determinism RPA1xx, units RPA2xx, layering RPA3xx, "
-                    "API contracts RPA4xx)")
+                    "API contracts RPA4xx, resilience RPA5xx)")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "
                              "(default: src/repro)")

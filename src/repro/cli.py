@@ -5,6 +5,7 @@ Usage::
     repro list
     repro run fig4 [--fast] [--out report.txt] [--workers 4] [--no-cache]
     repro run all [--fast] [--sanitize] [--trace]
+    repro run fig4 [--strict] [--checkpoint N] [--resume] [--faults SPEC]
     repro lint [paths ...] [--format json] [--baseline FILE]
     repro cache info
     repro cache clear
@@ -18,7 +19,11 @@ switches on the numerical sanitizer of :mod:`repro.sanitize` for the
 run, ``--trace`` (or ``REPRO_TRACE=1``) switches on the observability
 layer of :mod:`repro.obs` and writes a JSON run manifest next to the
 report, and ``repro lint`` is the static analysis front end of
-:mod:`repro.analysis`.  ``repro trace summarize`` renders a manifest as
+:mod:`repro.analysis`.  ``--strict`` / ``--checkpoint N`` / ``--resume``
+/ ``--faults SPEC`` configure the resilience layer of
+:mod:`repro.runtime.resilience` (see ``docs/robustness.md``) by
+exporting ``REPRO_STRICT`` / ``REPRO_CHECKPOINT`` / ``REPRO_RESUME`` /
+``REPRO_FAULTS``.  ``repro trace summarize`` renders a manifest as
 a human-readable summary (or a condensed JSON document).
 """
 
@@ -35,7 +40,16 @@ from repro import obs, sanitize
 from repro.analysis.cli import build_parser as build_lint_parser
 from repro.analysis.cli import main as lint_main
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
-from repro.runtime import NO_CACHE_ENV, WORKERS_ENV, ArtifactCache, cache_root
+from repro.runtime import (
+    CHECKPOINT_ENV,
+    FAULTS_ENV,
+    NO_CACHE_ENV,
+    RESUME_ENV,
+    STRICT_ENV,
+    WORKERS_ENV,
+    ArtifactCache,
+    cache_root,
+)
 
 
 def _cmd_list(_args) -> int:
@@ -52,6 +66,16 @@ def _apply_runtime_flags(args) -> None:
         os.environ[WORKERS_ENV] = str(args.workers)
     if getattr(args, "no_cache", False):
         os.environ[NO_CACHE_ENV] = "1"
+    if getattr(args, "strict", False):
+        os.environ[STRICT_ENV] = "1"
+    if getattr(args, "checkpoint", None) is not None:
+        os.environ[CHECKPOINT_ENV] = str(args.checkpoint)
+    if getattr(args, "resume", False):
+        os.environ[RESUME_ENV] = "1"
+    if getattr(args, "faults", None):
+        os.environ[FAULTS_ENV] = str(args.faults)
+        from repro.runtime import faults as _faults
+        _faults.enable(str(args.faults))
     if getattr(args, "sanitize", False):
         sanitize.enable()
     if getattr(args, "trace", False):
@@ -161,6 +185,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="enable the numerical sanitizer "
                             "(equivalent to REPRO_SANITIZE=1)")
+    p_run.add_argument("--strict", action="store_true",
+                       help="raise on the first non-converged sweep cell "
+                            "instead of quarantining it "
+                            "(equivalent to REPRO_STRICT=1)")
+    p_run.add_argument("--checkpoint", type=int, default=None, metavar="N",
+                       help="write an atomic sweep checkpoint every N "
+                            "completed rows/samples "
+                            "(equivalent to REPRO_CHECKPOINT=N)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="resume sweeps from existing checkpoints, "
+                            "recomputing only missing cells "
+                            "(equivalent to REPRO_RESUME=1)")
+    p_run.add_argument("--faults", default=None, metavar="SPEC",
+                       help="deterministic fault injection spec, e.g. "
+                            "'scf@3,17x2;worker@1' "
+                            "(equivalent to REPRO_FAULTS=SPEC; testing "
+                            "aid — see docs/robustness.md)")
     p_run.add_argument("--trace", action="store_true",
                        help="enable tracing/metrics and write a JSON run "
                             "manifest (equivalent to REPRO_TRACE=1)")

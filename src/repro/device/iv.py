@@ -12,19 +12,54 @@ continuation, disabled by ``REPRO_NO_WARMSTART``), and rows always cold
 start.  Serial sweeps run the identical per-row helper, so parallel and
 serial sweeps are bit-for-bit equal regardless of worker count or
 chunking.
+
+Resilience (see ``docs/robustness.md``): every cell solve runs behind
+the warm→cold→relaxed retry ladder of :func:`solve_cell_resilient`; a
+cell whose ladder exhausts is NaN-masked and recorded as a
+:class:`~repro.runtime.resilience.FailureRecord` on the result (and in
+the obs manifest) unless ``strict`` is set, in which case the first
+failure raises as before.  With ``REPRO_CHECKPOINT``/``REPRO_RESUME``
+(or the corresponding arguments) the sweep writes atomic row-granular
+checkpoints and skips already-completed rows on resume — bitwise
+identical to an uninterrupted run because rows are independent and
+cold-started.  A crashed worker process costs only its unfinished rows,
+which are recomputed in-process from the salvaged
+:class:`~repro.errors.ParallelMapError` state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
+from typing import Callable
 
 import numpy as np
 
 from repro import obs
 from repro.device.geometry import GNRFETGeometry
-from repro.device.sbfet import SBFETModel
-from repro.runtime import parallel_map, resolve_workers
+from repro.device.sbfet import SBFETModel, SBFETSolution
+from repro.errors import ConvergenceError, ParallelMapError
+from repro.runtime import (
+    TABLE_ENGINE_VERSION,
+    FailureRecord,
+    SweepCheckpoint,
+    checkpoint_interval,
+    content_key,
+    in_worker,
+    parallel_map,
+    quarantine,
+    recover_parallel,
+    resolve_workers,
+    resume_enabled,
+    run_ladder,
+    strict_default,
+)
+from repro.runtime import faults
+from repro.runtime.accel import warmstart_enabled
+
+#: Base electrostatic-bisection budget of the cell ladder (the engine's
+#: historical default); the ``relaxed`` rung quadruples it.
+CELL_BASE_MAX_ITER = 80
 
 
 @dataclass
@@ -43,6 +78,10 @@ class IVSweep:
         Converged channel midgap energy per bias point (diagnostic).
     geometry:
         The device specification the sweep belongs to.
+    failures:
+        Quarantined cells (empty unless a retry ladder exhausted in a
+        non-strict sweep); each record's grid coordinates point at a
+        NaN-masked cell of the arrays above.
     """
 
     vg: np.ndarray
@@ -51,6 +90,7 @@ class IVSweep:
     charge_c: np.ndarray
     midgap_ev: np.ndarray
     geometry: GNRFETGeometry
+    failures: tuple[FailureRecord, ...] = field(default=())
 
     def current_curve(self, vd: float) -> np.ndarray:
         """I_D(V_G) at the tabulated drain voltage nearest ``vd``."""
@@ -73,43 +113,114 @@ class IVSweep:
         return float(i_on / i_off)
 
 
+def solve_cell_resilient(model: SBFETModel, vg: float, vd: float,
+                         guess_ev: float | None,
+                         cell_index: int) -> SBFETSolution:
+    """Solve one bias cell behind the warm→cold→relaxed retry ladder.
+
+    Rungs (via :func:`repro.runtime.resilience.run_ladder`, retries
+    counted under ``scf.retries``):
+
+    1. ``warm`` — the continuation ``guess_ev`` with the base bisection
+       budget; byte-identical to the pre-ladder solve, so sweeps without
+       failures are unchanged.  Skipped when there is no guess.
+    2. ``cold`` — discard the guess (a stale warm bracket is the usual
+       reason a cell that used to converge stops doing so).
+    3. ``relaxed`` — cold with a 4x iteration budget.
+
+    The ``scf`` fault-injection site fires here, keyed by the flat
+    ``cell_index``, *inside* each rung attempt — injected failures
+    traverse the genuine recovery path.  Exhaustion re-raises the last
+    :class:`~repro.errors.ConvergenceError` with the bias point, cell
+    index, and rungs tried in its context.
+    """
+    def attempt(initial: float | None,
+                max_iter: int) -> Callable[[], SBFETSolution]:
+        def thunk() -> SBFETSolution:
+            if faults.ACTIVE:
+                faults.inject("scf", cell_index,
+                              detail=f"VG={vg}, VD={vd}")
+            return model.solve_bias(vg, vd, initial_midgap_ev=initial,
+                                    max_iter=max_iter)
+        return thunk
+
+    rungs: list[tuple[str, Callable[[], SBFETSolution]]] = []
+    if guess_ev is not None:
+        rungs.append(("warm", attempt(guess_ev, CELL_BASE_MAX_ITER)))
+    rungs.append(("cold", attempt(None, CELL_BASE_MAX_ITER)))
+    rungs.append(("relaxed", attempt(None, 4 * CELL_BASE_MAX_ITER)))
+    try:
+        solution, _tried = run_ladder(rungs, site="scf",
+                                      counter="scf.retries")
+    except ConvergenceError as exc:
+        raise exc.with_context(vg=float(vg), vd=float(vd),
+                               cell_index=int(cell_index))
+    return solution
+
+
 def _solve_iv_row(geometry: GNRFETGeometry, vd_grid: np.ndarray,
-                  n_modes: int | None, vg: float,
+                  n_modes: int | None, strict: bool,
+                  task: tuple[int, float],
                   model: SBFETModel | None = None
-                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                             list[FailureRecord]]:
     """One gate row of the sweep (module-level so it pickles to workers).
 
-    When no ``model`` is supplied (worker processes) one is rebuilt from
-    the geometry; construction is deterministic, so row results do not
-    depend on how rows are batched.  Each converged midgap warm-starts
-    the next drain point of the *same* row (continuation along V_D);
-    rows always cold-start, which makes serial and parallel sweeps —
-    where the row is the unit of work — bit-for-bit identical.
+    ``task`` is ``(row_index, vg)``; the row index keys fault injection
+    and the flat cell indices of quarantine records.  When no ``model``
+    is supplied (worker processes) one is rebuilt from the geometry;
+    construction is deterministic, so row results do not depend on how
+    rows are batched.  Each converged midgap warm-starts the next drain
+    point of the *same* row (continuation along V_D); rows always
+    cold-start, which makes serial and parallel sweeps — where the row
+    is the unit of work — bit-for-bit identical.  A quarantined cell
+    breaks the continuation chain: the next cell falls back to the last
+    finite midgap, or a cold start.
     """
+    i, vg = task
     if model is None:
         model = SBFETModel(geometry, n_modes=n_modes)
+    if faults.ACTIVE and in_worker():
+        faults.inject("worker", i)
     n_vd = vd_grid.size
     current = np.empty(n_vd)
     charge = np.empty(n_vd)
     midgap = np.empty(n_vd)
+    failures: list[FailureRecord] = []
     for j, vd in enumerate(vd_grid):
         # Continuation guess: linear extrapolation of the two previous
         # converged midgaps.  The midgap is nearly linear in V_D over a
         # sweep step, so the extrapolation error (~the second difference)
         # is an order of magnitude below the step itself and the warm
         # bracket almost always holds on its first, tightest width.
-        if j >= 2:
-            guess = 2.0 * midgap[j - 1] - midgap[j - 2]
-        elif j == 1:
-            guess = midgap[0]
+        prev1 = midgap[j - 1] if j >= 1 else np.nan
+        prev2 = midgap[j - 2] if j >= 2 else np.nan
+        guess: float | None
+        if j >= 2 and np.isfinite(prev1) and np.isfinite(prev2):
+            guess = 2.0 * prev1 - prev2
+        elif j >= 1 and np.isfinite(prev1):
+            guess = float(prev1)
         else:
             guess = None
-        sol = model.solve_bias(float(vg), float(vd),
-                               initial_midgap_ev=guess)
+        cell = i * n_vd + j
+        try:
+            sol = solve_cell_resilient(model, float(vg), float(vd),
+                                       guess, cell)
+        except ConvergenceError as exc:
+            if strict:
+                raise
+            failures.append(quarantine(
+                exc, site="scf", index=cell, coords=(i, j),
+                bias={"vg": float(vg), "vd": float(vd)}))
+            current[j] = charge[j] = midgap[j] = np.nan
+            continue
         current[j] = sol.current_a
         charge[j] = sol.charge_c
         midgap[j] = sol.midgap_ev
-    return current, charge, midgap
+    return current, charge, midgap, failures
+
+
+_RowResult = tuple[np.ndarray, np.ndarray, np.ndarray, list[FailureRecord]]
 
 
 def sweep_iv(
@@ -118,12 +229,23 @@ def sweep_iv(
     vd_grid: np.ndarray,
     n_modes: int | None = None,
     workers: int | None = None,
+    strict: bool | None = None,
+    checkpoint: int | None = None,
+    resume: bool | None = None,
 ) -> IVSweep:
     """Run the fast SBFET engine over a (V_G, V_D) grid.
 
     ``workers`` > 1 fans the gate rows out across a process pool (default
     comes from ``REPRO_WORKERS``; unset means serial).  Parallel results
     are bit-for-bit identical to serial ones.
+
+    ``strict`` (default from ``REPRO_STRICT``, normally ``False``)
+    re-raises the first exhausted cell instead of quarantining it.
+    ``checkpoint`` is the checkpoint interval in completed rows (default
+    from ``REPRO_CHECKPOINT``; 0 disables); ``resume`` (default from
+    ``REPRO_RESUME``) loads an existing checkpoint and computes only the
+    missing rows.  Checkpoints are keyed by the full sweep spec under
+    the ``checkpoints`` cache namespace and deleted on completion.
     """
     vg_grid = np.asarray(vg_grid, dtype=float)
     vd_grid = np.asarray(vd_grid, dtype=float)
@@ -132,10 +254,52 @@ def sweep_iv(
     if np.any(np.diff(vg_grid) <= 0) or np.any(np.diff(vd_grid) <= 0):
         raise ValueError("bias grids must be strictly ascending")
 
+    strict = strict_default() if strict is None else strict
+    interval = (checkpoint_interval() if checkpoint is None
+                else max(0, int(checkpoint)))
+    resume = resume_enabled() if resume is None else resume
+
     shape = (vg_grid.size, vd_grid.size)
-    current = np.empty(shape)
-    charge = np.empty(shape)
-    midgap = np.empty(shape)
+    current = np.full(shape, np.nan)
+    charge = np.full(shape, np.nan)
+    midgap = np.full(shape, np.nan)
+    done = np.zeros(vg_grid.size, dtype=bool)
+    failures: list[FailureRecord] = []
+
+    ckpt: SweepCheckpoint | None = None
+    if interval > 0 or resume:
+        key = content_key("sweep_iv", geometry, vg_grid, vd_grid, n_modes,
+                          TABLE_ENGINE_VERSION, warmstart_enabled())
+        ckpt = SweepCheckpoint(key, interval=interval)
+        if resume:
+            loaded = ckpt.load()
+            if loaded is not None and loaded[0].shape == done.shape:
+                done, arrays, saved_failures = loaded
+                current = np.asarray(arrays["current_a"], dtype=float)
+                charge = np.asarray(arrays["charge_c"], dtype=float)
+                midgap = np.asarray(arrays["midgap_ev"], dtype=float)
+                for record in saved_failures:
+                    failures.append(record)
+                    if obs.ACTIVE:
+                        # Re-recorded so the resumed run's manifest
+                        # carries the full failure set, not just the
+                        # post-resume tail.
+                        obs.incr("resilience.quarantined")
+                        obs.record_failure(record.to_dict())
+
+    def save_checkpoint() -> None:
+        assert ckpt is not None
+        ckpt.save(done, {"current_a": current, "charge_c": charge,
+                         "midgap_ev": midgap}, failures)
+
+    def store(i: int, row: _RowResult) -> None:
+        current[i], charge[i], midgap[i] = row[0], row[1], row[2]
+        failures.extend(row[3])
+        done[i] = True
+
+    tasks = [(int(i), float(vg_grid[i]))
+             for i in range(vg_grid.size) if not done[i]]
+    fn = partial(_solve_iv_row, geometry, vd_grid, n_modes, strict)
     with obs.span("device.sweep_iv", n_index=geometry.n_index,
                   grid=f"{vg_grid.size}x{vd_grid.size}"):
         if resolve_workers(workers) <= 1:
@@ -144,19 +308,31 @@ def sweep_iv(
             # warm-start continuation, cold start at row boundaries), so
             # serial and parallel sweeps stay bit-for-bit identical.
             model = SBFETModel(geometry, n_modes=n_modes)
-            for i, vg in enumerate(vg_grid):
-                cur_row, chg_row, mid_row = _solve_iv_row(
-                    geometry, vd_grid, n_modes, float(vg), model=model)
-                current[i] = cur_row
-                charge[i] = chg_row
-                midgap[i] = mid_row
+            for task in tasks:
+                store(task[0], fn(task, model=model))
+                if ckpt is not None and ckpt.due():
+                    save_checkpoint()
         else:
-            rows = parallel_map(
-                partial(_solve_iv_row, geometry, vd_grid, n_modes),
-                [float(vg) for vg in vg_grid], workers=workers)
-            for i, (cur_row, chg_row, mid_row) in enumerate(rows):
-                current[i] = cur_row
-                charge[i] = chg_row
-                midgap[i] = mid_row
+            # With checkpointing on, rows are dispatched in waves of one
+            # checkpoint interval so a snapshot lands between waves;
+            # with it off this is a single parallel_map call, exactly
+            # the historical fast path.
+            wave_size = (interval if ckpt is not None and ckpt.enabled
+                         and interval > 0 else len(tasks)) or 1
+            for w in range(0, len(tasks), wave_size):
+                wave = tasks[w:w + wave_size]
+                try:
+                    rows = parallel_map(fn, wave, workers=workers)
+                except ParallelMapError as err:
+                    if strict:
+                        raise
+                    rows = recover_parallel(err, fn, wave)
+                for task, row in zip(wave, rows):
+                    store(task[0], row)
+                if ckpt is not None and ckpt.enabled and interval > 0:
+                    save_checkpoint()
+        if ckpt is not None:
+            ckpt.clear()
     return IVSweep(vg=vg_grid, vd=vd_grid, current_a=current,
-                   charge_c=charge, midgap_ev=midgap, geometry=geometry)
+                   charge_c=charge, midgap_ev=midgap, geometry=geometry,
+                   failures=tuple(failures))

@@ -49,7 +49,12 @@ from repro.atomistic.modespace import transverse_modes
 from repro.device.geometry import GNRFETGeometry, GRAPHENE_THICKNESS_NM
 from repro.negf.energy_grid import adaptive_energy_grid
 from repro.negf.mixing import AndersonMixer
-from repro.negf.scf import SCFOptions, SCFResult, self_consistent_loop
+from repro.negf.scf import (
+    SCFOptions,
+    SCFResult,
+    scf_escalation,
+    self_consistent_loop,
+)
 from repro.negf.self_energy import lead_self_energy_1d
 from repro.poisson.fd import PoissonOperator
 from repro.poisson.grid import Grid2D
@@ -358,6 +363,15 @@ class NEGFDevice:
         bias sweeps).  The converged answer is unchanged within
         ``tolerance_ev``; only the iteration count drops.  Ignored when
         ``REPRO_NO_WARMSTART`` is set.
+
+        A base solve that fails to converge escalates through the
+        :func:`repro.negf.scf.scf_escalation` retry ladder (halved
+        mixing beta, damped Picard with a larger iteration budget) and,
+        for warm-started solves, a final cold rung that discards the
+        seed.  Escalations count under ``scf.retries`` /
+        ``resilience.retries``; if every rung fails the method keeps its
+        historical never-raise contract and returns the last best-effort
+        state (``result.scf.converged`` is ``False``).
         """
         # The SCF loop's last solve_charge call is always evaluated at the
         # potential it returns (on convergence it recomputes), so the
@@ -389,6 +403,33 @@ class NEGFDevice:
         with obs.span("device.negf_solve", vg=vg, vd=vd):
             scf = self_consistent_loop(solve_charge, solve_potential, u0,
                                        options)
+            if not scf.converged:
+                rungs = [(name, opts, u0)
+                         for name, opts in scf_escalation(options)[1:]]
+                if warm:
+                    # Last resort: discard the warm-start seed entirely.
+                    cold_u0 = self._solve_poisson_midgap(
+                        np.zeros_like(self.x_nm), vg, vd)
+                    rungs.append(("cold", rungs[-1][1], cold_u0))
+                for _name, opts, start in rungs:
+                    if obs.ACTIVE:
+                        obs.incr("resilience.retries")
+                        obs.incr("scf.retries")
+                    # raise_on_failure stays False: each rung returns its
+                    # best-effort state, and SCFResult guarantees charge/
+                    # potential consistency, so the never-raise contract
+                    # of this method survives an exhausted ladder.
+                    relaxed = SCFOptions(tolerance_ev=opts.tolerance_ev,
+                                         max_iterations=opts.max_iterations,
+                                         mixer=opts.mixer,
+                                         raise_on_failure=False)
+                    scf = self_consistent_loop(solve_charge, solve_potential,
+                                               start, relaxed)
+                    if scf.converged:
+                        break
+                else:
+                    if obs.ACTIVE:
+                        obs.incr("resilience.exhausted")
         if obs.ACTIVE:
             obs.incr("device.bias_points")
             if warm:

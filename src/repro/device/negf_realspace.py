@@ -47,8 +47,8 @@ from repro.atomistic.lattice import ArmchairGNR
 from repro.errors import InvalidDeviceError
 from repro.negf.greens import recursive_greens_function, rgf_transmission_batched
 from repro.negf.self_energy import (
-    sancho_rubio_surface_gf,
-    sancho_rubio_surface_gf_batched,
+    resilient_surface_gf,
+    resilient_surface_gf_batched,
     self_energy_from_surface_gf,
 )
 
@@ -117,13 +117,17 @@ class RealSpaceGNRDevice:
         """(Sigma_L, Sigma_R) of the semi-infinite pristine leads.
 
         The left lead extends through ``h01^T`` (towards -x), the right
-        lead through ``h01``; both surface GFs come from Sancho-Rubio.
+        lead through ``h01``; both surface GFs come from Sancho-Rubio
+        behind the retry ladder of
+        :func:`repro.negf.self_energy.resilient_surface_gf` (the base
+        rung runs the exact legacy settings, so a converging decimation
+        is bitwise-unchanged).
         """
-        g_left = sancho_rubio_surface_gf(energy_ev, self._h00,
-                                         self._h01.T, eta_ev)
+        g_left = resilient_surface_gf(energy_ev, self._h00,
+                                      self._h01.T, eta_ev)
         sigma_l = self_energy_from_surface_gf(g_left, self._h01.T)
-        g_right = sancho_rubio_surface_gf(energy_ev, self._h00,
-                                          self._h01, eta_ev)
+        g_right = resilient_surface_gf(energy_ev, self._h00,
+                                       self._h01, eta_ev)
         sigma_r = self_energy_from_surface_gf(g_right, self._h01)
         return sigma_l, sigma_r
 
@@ -146,10 +150,10 @@ class RealSpaceGNRDevice:
         carried in the stacked iteration.
         """
         energies_ev = np.asarray(energies_ev, dtype=float)
-        g_left = sancho_rubio_surface_gf_batched(
+        g_left = resilient_surface_gf_batched(
             energies_ev, self._h00, self._h01.T, eta_ev)
         sigma_l = self_energy_from_surface_gf(g_left, self._h01.T)
-        g_right = sancho_rubio_surface_gf_batched(
+        g_right = resilient_surface_gf_batched(
             energies_ev, self._h00, self._h01, eta_ev)
         sigma_r = self_energy_from_surface_gf(g_right, self._h01)
         return sigma_l, sigma_r

@@ -284,7 +284,11 @@ class SBFETModel:
                 if expand > 5:
                     raise ConvergenceError(
                         f"cannot bracket electrostatic solution at "
-                        f"VG={vg}, VD={vd}")
+                        f"VG={vg}, VD={vd}",
+                        context={"solver": "sbfet_bisection",
+                                 "stage": "bracket",
+                                 "vg": float(vg), "vd": float(vd),
+                                 "n_index": self.geometry.n_index})
 
         for iteration in range(1, max_iter + 1):
             mid = 0.5 * (lo + hi)
@@ -297,7 +301,11 @@ class SBFETModel:
                 return 0.5 * (lo + hi), iteration
         raise ConvergenceError(
             f"electrostatic bisection stalled at VG={vg}, VD={vd}",
-            iterations=max_iter, residual=hi - lo)
+            iterations=max_iter, residual=hi - lo,
+            context={"solver": "sbfet_bisection", "stage": "bisect",
+                     "vg": float(vg), "vd": float(vd),
+                     "tol_ev": float(tol_ev), "max_iter": int(max_iter),
+                     "n_index": self.geometry.n_index})
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -420,17 +428,19 @@ class SBFETModel:
     # Public entry point
     # ------------------------------------------------------------------ #
     def solve_bias(self, vg: float, vd: float,
-                   initial_midgap_ev: float | None = None) -> SBFETSolution:
+                   initial_midgap_ev: float | None = None,
+                   max_iter: int = 80) -> SBFETSolution:
         """Solve one bias point self-consistently and return all outputs.
 
         ``initial_midgap_ev`` warm-starts the electrostatic bisection from
         an adjacent bias point's converged midgap (see
         :meth:`solve_midgap_ev`); ignored when ``REPRO_NO_WARMSTART`` is
-        set.
+        set.  ``max_iter`` bounds the bisection and is raised by the
+        retry ladder of :func:`repro.device.iv.solve_cell_resilient`.
         """
         warm = (initial_midgap_ev is not None and warmstart_enabled())
         u_ch, iterations = self.solve_midgap_ev(
-            vg, vd,
+            vg, vd, max_iter=max_iter,
             initial_guess_ev=initial_midgap_ev if warm else None)
         if obs.ACTIVE:
             # The bisection is this engine's SCF: emit the same counter

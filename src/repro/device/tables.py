@@ -82,6 +82,10 @@ class DeviceTable:
         (paper Fig. 2b).
     label:
         Human-readable provenance (ribbon index, impurity, ...).
+    failures:
+        Quarantined sweep cells behind any NaN entries of the grids
+        (empty for a clean build; see ``docs/robustness.md``).  Tables
+        with failures are never persisted to the artifact cache.
     """
 
     vg: np.ndarray
@@ -90,6 +94,7 @@ class DeviceTable:
     charge_c: np.ndarray
     gate_offset_v: float = 0.0
     label: str = ""
+    failures: tuple = ()
 
     def __post_init__(self) -> None:
         vg = np.asarray(self.vg, dtype=float)
@@ -163,9 +168,10 @@ class DeviceTable:
     # --- construction helpers ------------------------------------------------
     @classmethod
     def from_sweep(cls, sweep: IVSweep, label: str = "") -> "DeviceTable":
-        """Wrap an :class:`IVSweep` into a table."""
+        """Wrap an :class:`IVSweep` into a table (failures carried over)."""
         return cls(vg=sweep.vg, vd=sweep.vd, current_a=sweep.current_a,
-                   charge_c=sweep.charge_c, label=label)
+                   charge_c=sweep.charge_c, label=label,
+                   failures=tuple(sweep.failures))
 
     def with_gate_offset(self, offset_v: float) -> "DeviceTable":
         """Same table with a different gate work-function offset."""
@@ -379,6 +385,7 @@ def build_device_table(
     n_modes: int | None = None,
     use_cache: bool = True,
     workers: int | None = None,
+    strict: bool | None = None,
 ) -> DeviceTable:
     """Build (or fetch from cache) one ribbon's table.
 
@@ -390,6 +397,13 @@ def build_device_table(
     frozen dataclass), the grids, the mode count and the engine version,
     so variant devices (width, impurity) coexist and physics changes
     invalidate cleanly.  ``use_cache=False`` bypasses both layers.
+
+    ``strict`` is passed through to :func:`~repro.device.iv.sweep_iv`
+    (default from ``REPRO_STRICT``).  A non-strict build whose sweep
+    quarantined cells returns a table with NaN holes and a non-empty
+    ``failures`` tuple; such a table is **not** written to either cache
+    layer, so a later build retries the failed cells instead of reusing
+    the holes.
     """
     vg_grid = DEFAULT_VG_GRID if vg_grid is None else np.asarray(vg_grid, float)
     vd_grid = DEFAULT_VD_GRID if vd_grid is None else np.asarray(vd_grid, float)
@@ -417,12 +431,17 @@ def build_device_table(
             obs.incr("cache.table_builds")
         with obs.span("device.build_table", n_index=geometry.n_index):
             sweep = sweep_iv(geometry, vg_grid, vd_grid, n_modes=n_modes,
-                             workers=workers)
+                             workers=workers, strict=strict)
             label = f"N={geometry.n_index}"
             if geometry.impurity is not None and \
                     geometry.impurity.charge_e != 0.0:
                 label += f",imp={geometry.impurity.charge_e:+g}q"
             table = DeviceTable.from_sweep(sweep, label=label)
+        if table.failures:
+            # Quarantined holes must not outlive this process: caching a
+            # table with NaN cells would turn a transient failure into a
+            # permanently poisoned artifact.
+            return table
         if disk is not None:
             disk.put(digest, vg=table.vg, vd=table.vd,
                      current_a=table.current_a, charge_c=table.charge_c,

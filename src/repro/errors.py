@@ -6,6 +6,8 @@ catch simulation problems without masking programming errors.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -20,13 +22,32 @@ class ConvergenceError(ReproError):
         Number of iterations performed before giving up.
     residual:
         Final residual norm, if known.
+    context:
+        Structured facts about where the solver gave up — bias point,
+        geometry id, solver name, mixing configuration, retry-ladder
+        rungs already tried.  Populated by the raising solver so that
+        quarantine records (:mod:`repro.runtime.resilience`) and logs
+        carry actionable detail instead of a bare message string.  Keys
+        and values must be JSON-serializable scalars.
     """
 
     def __init__(self, message: str, iterations: int | None = None,
-                 residual: float | None = None):
+                 residual: float | None = None,
+                 context: Mapping[str, object] | None = None):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.context: dict[str, object] = dict(context) if context else {}
+
+    def with_context(self, **facts: object) -> "ConvergenceError":
+        """Merge additional facts into :attr:`context` (returns self).
+
+        Existing keys are kept: the innermost solver knows the most
+        precise value, outer layers only fill in what is still missing.
+        """
+        for key, value in facts.items():
+            self.context.setdefault(key, value)
+        return self
 
 
 class TableRangeError(ReproError):
@@ -44,6 +65,54 @@ class CircuitError(ReproError):
 class AnalysisError(ReproError):
     """A post-processing step could not extract the requested quantity
     (e.g. no oscillation detected when measuring ring-oscillator frequency)."""
+
+
+class ParallelMapError(ReproError):
+    """A :func:`repro.runtime.parallel_map` worker chunk failed.
+
+    Raised *instead of* the bare worker exception so that work already
+    finished by other chunks is salvaged rather than thrown away: the
+    completed chunk results (and their chunk indices) ride along on the
+    wrapper, and the original worker exception is chained as
+    ``__cause__``.
+
+    Attributes
+    ----------
+    completed:
+        Mapping of chunk index to that chunk's result list, for every
+        chunk that finished successfully before the failure surfaced.
+    failed:
+        Mapping of chunk index to the repr of its exception.
+    n_chunks:
+        Total chunks dispatched.
+    n_cancelled:
+        Chunks cancelled before they ran (their items were never
+        computed).
+    chunk_size:
+        Items per chunk (the last chunk may be shorter), so callers can
+        map chunk indices back to item indices.
+    """
+
+    def __init__(self, message: str,
+                 completed: Mapping[int, list] | None = None,
+                 failed: Mapping[int, str] | None = None,
+                 n_chunks: int = 0, n_cancelled: int = 0,
+                 chunk_size: int = 1):
+        super().__init__(message)
+        self.completed: dict[int, list] = dict(completed or {})
+        self.failed: dict[int, str] = dict(failed or {})
+        self.n_chunks = n_chunks
+        self.n_cancelled = n_cancelled
+        self.chunk_size = chunk_size
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint could not be written or read back.
+
+    Also the vehicle of the ``checkpoint`` fault-injection site
+    (:mod:`repro.runtime.faults`), which interrupts a checkpoint write
+    at a chosen index to prove that resume survives torn writes.
+    """
 
 
 class SanitizerError(ReproError):

@@ -16,9 +16,17 @@ import numpy as np
 from repro import obs
 from repro.circuit.inverter import inverter_snm
 from repro.circuit.ring_oscillator import estimate_ring_oscillator
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConvergenceError, ParallelMapError
 from repro.exploration.technology import GNRFETTechnology
-from repro.runtime import parallel_map
+from repro.runtime import (
+    FailureRecord,
+    in_worker,
+    parallel_map,
+    quarantine,
+    recover_parallel,
+    strict_default,
+)
+from repro.runtime import faults
 
 
 @dataclass
@@ -36,6 +44,7 @@ class ExplorationGrid:
     snm_v: np.ndarray
     total_power_w: np.ndarray
     static_power_w: np.ndarray
+    failures: tuple[FailureRecord, ...] = ()
 
     def log_edp(self, floor: float = 1e-40) -> np.ndarray:
         """Natural log of the EDP in aJ-ps (the paper's Fig. 3b contour
@@ -45,16 +54,39 @@ class ExplorationGrid:
 
 
 def _explore_vt_row(tech: GNRFETTechnology, vdd_grid: np.ndarray,
-                    n_stages: int, with_snm: bool, vt: float
+                    n_stages: int, with_snm: bool, strict: bool,
+                    task: tuple[int, float]
                     ) -> tuple[np.ndarray, ...]:
-    """All V_DD cells of one V_T row (module-level so it pickles)."""
+    """All V_DD cells of one V_T row (module-level so it pickles).
+
+    ``task`` is ``(row_index, vt)``; the row index keys the ``worker``
+    fault-injection site and quarantine records.  A device-table build
+    whose retry ladder exhausts (it surfaces here as a
+    :class:`~repro.errors.ConvergenceError` when the underlying sweep is
+    strict) NaN-masks the whole row and yields one
+    :class:`~repro.runtime.resilience.FailureRecord` unless ``strict``.
+    """
+    i, vt = task
+    if faults.ACTIVE and in_worker():
+        faults.inject("worker", i)
     n_vdd = vdd_grid.size
     freq = np.full(n_vdd, np.nan)
     edp = np.full(n_vdd, np.nan)
     snm = np.full(n_vdd, np.nan)
     p_tot = np.full(n_vdd, np.nan)
     p_stat = np.full(n_vdd, np.nan)
-    nt, pt = tech.inverter_tables(float(vt))
+    failures: list[FailureRecord] = []
+    try:
+        if faults.ACTIVE:
+            faults.inject("scf", i, detail=f"VT={vt}")
+        nt, pt = tech.inverter_tables(float(vt))
+    except ConvergenceError as exc:
+        if strict:
+            raise exc.with_context(vt=float(vt), row_index=int(i))
+        failures.append(quarantine(
+            exc.with_context(vt=float(vt)), site="exploration", index=i,
+            coords=(i,), bias={"vt": float(vt)}))
+        return freq, edp, snm, p_tot, p_stat, failures
     for j, vdd in enumerate(vdd_grid):
         vdd = float(vdd)
         try:
@@ -67,7 +99,7 @@ def _explore_vt_row(tech: GNRFETTechnology, vdd_grid: np.ndarray,
         p_stat[j] = m.static_power_w
         if with_snm:
             snm[j] = inverter_snm(nt, pt, vdd, tech.params)
-    return freq, edp, snm, p_tot, p_stat
+    return freq, edp, snm, p_tot, p_stat, failures
 
 
 def sweep_vdd_vt(
@@ -78,6 +110,7 @@ def sweep_vdd_vt(
     with_snm: bool = True,
     snm_points: int = 41,
     workers: int | None = None,
+    strict: bool | None = None,
 ) -> ExplorationGrid:
     """Quasi-static sweep of RO metrics and inverter SNM.
 
@@ -86,28 +119,43 @@ def sweep_vdd_vt(
     on the full rectangle.  ``workers`` > 1 distributes V_T rows across a
     process pool (default from ``REPRO_WORKERS``); the resulting grids
     are bit-for-bit identical to a serial sweep.
+
+    ``strict`` (default from ``REPRO_STRICT``) re-raises the first
+    exhausted device-table build; otherwise the affected V_T row is
+    NaN-masked and recorded on ``failures``.  A crashed worker process
+    costs only its undelivered rows, which are recomputed in-process.
     """
     vt_grid = np.asarray(vt_grid, dtype=float)
     vdd_grid = np.asarray(vdd_grid, dtype=float)
+    strict = strict_default() if strict is None else strict
     shape = (vt_grid.size, vdd_grid.size)
     freq = np.full(shape, np.nan)
     edp = np.full(shape, np.nan)
     snm = np.full(shape, np.nan)
     p_tot = np.full(shape, np.nan)
     p_stat = np.full(shape, np.nan)
+    failures: list[FailureRecord] = []
 
+    tasks = [(int(i), float(vt)) for i, vt in enumerate(vt_grid)]
+    fn = partial(_explore_vt_row, tech, vdd_grid, n_stages, with_snm,
+                 strict)
     with obs.span("exploration.sweep_vdd_vt",
                   grid=f"{vt_grid.size}x{vdd_grid.size}"):
-        rows = parallel_map(
-            partial(_explore_vt_row, tech, vdd_grid, n_stages, with_snm),
-            [float(vt) for vt in vt_grid], workers=workers)
-    for i, (f_row, e_row, s_row, pt_row, ps_row) in enumerate(rows):
+        try:
+            rows = parallel_map(fn, tasks, workers=workers)
+        except ParallelMapError as err:
+            if strict:
+                raise
+            rows = recover_parallel(err, fn, tasks)
+    for i, (f_row, e_row, s_row, pt_row, ps_row, row_failures)             in enumerate(rows):
         freq[i] = f_row
         edp[i] = e_row
         snm[i] = s_row
         p_tot[i] = pt_row
         p_stat[i] = ps_row
+        failures.extend(row_failures)
 
     return ExplorationGrid(vt=vt_grid, vdd=vdd_grid, frequency_hz=freq,
                            edp_j_s=edp, snm_v=snm, total_power_w=p_tot,
-                           static_power_w=p_stat)
+                           static_power_w=p_stat,
+                           failures=tuple(failures))

@@ -14,6 +14,8 @@ production device simulator.
 from repro.negf.energy_grid import adaptive_energy_grid, uniform_energy_grid
 from repro.negf.self_energy import (
     lead_self_energy_1d,
+    resilient_surface_gf,
+    resilient_surface_gf_batched,
     sancho_rubio_surface_gf,
     self_energy_from_surface_gf,
     wide_band_self_energy,
@@ -31,12 +33,20 @@ from repro.negf.transmission import (
 )
 from repro.negf.charge import carrier_density_from_spectral
 from repro.negf.mixing import LinearMixer, AndersonMixer
-from repro.negf.scf import SCFOptions, SCFResult, self_consistent_loop
+from repro.negf.scf import (
+    SCFOptions,
+    SCFResult,
+    resilient_scf_loop,
+    scf_escalation,
+    self_consistent_loop,
+)
 
 __all__ = [
     "adaptive_energy_grid",
     "uniform_energy_grid",
     "lead_self_energy_1d",
+    "resilient_surface_gf",
+    "resilient_surface_gf_batched",
     "sancho_rubio_surface_gf",
     "self_energy_from_surface_gf",
     "wide_band_self_energy",
@@ -52,5 +62,7 @@ __all__ = [
     "AndersonMixer",
     "SCFOptions",
     "SCFResult",
+    "resilient_scf_loop",
+    "scf_escalation",
     "self_consistent_loop",
 ]

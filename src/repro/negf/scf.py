@@ -125,7 +125,92 @@ def self_consistent_loop(
         raise ConvergenceError(
             "SCF loop failed to converge: residual "
             f"{residuals[-1]:.3e} eV after {options.max_iterations} iterations",
-            iterations=options.max_iterations, residual=residuals[-1])
+            iterations=options.max_iterations, residual=residuals[-1],
+            context={"solver": "self_consistent_loop",
+                     "mixer": type(mixer).__name__,
+                     "mixer_beta": getattr(mixer, "beta", None),
+                     "tolerance_ev": options.tolerance_ev,
+                     "max_iterations": options.max_iterations})
     return SCFResult(potential=potential, charge=charge, converged=False,
                      iterations=options.max_iterations,
                      residual_history=residuals)
+
+
+def scf_escalation(options: SCFOptions) -> list[tuple[str, SCFOptions]]:
+    """Escalation rungs for :func:`resilient_scf_loop`.
+
+    The sequence trades speed for robustness, mirroring gmin/source
+    stepping practice in SPICE-class simulators:
+
+    1. ``base`` — the configured options, unchanged.
+    2. ``half-beta`` — same mixer family with the mixing factor halved
+       (over-aggressive mixing is the dominant divergence mode).
+    3. ``picard`` — damped Picard (:class:`LinearMixer`, beta=0.1) with
+       doubled iteration budget: slow but monotone for well-posed cells.
+    4. ``picard-long`` — beta=0.05 with a 4x budget, the last resort.
+    """
+    base_mixer = options.mixer
+    beta = getattr(base_mixer, "beta", 0.3)
+    if isinstance(base_mixer, LinearMixer):
+        half: LinearMixer | AndersonMixer = LinearMixer(beta=beta / 2)
+    else:
+        history = getattr(base_mixer, "history", 5)
+        half = AndersonMixer(beta=beta / 2, history=history)
+    tol, iters = options.tolerance_ev, options.max_iterations
+    return [
+        ("base", options),
+        ("half-beta", SCFOptions(tolerance_ev=tol, max_iterations=iters,
+                                 mixer=half, raise_on_failure=True)),
+        ("picard", SCFOptions(tolerance_ev=tol, max_iterations=2 * iters,
+                              mixer=LinearMixer(beta=0.1),
+                              raise_on_failure=True)),
+        ("picard-long", SCFOptions(tolerance_ev=tol,
+                                   max_iterations=4 * iters,
+                                   mixer=LinearMixer(beta=0.05),
+                                   raise_on_failure=True)),
+    ]
+
+
+def resilient_scf_loop(
+    solve_charge: Callable[[np.ndarray], np.ndarray],
+    solve_potential: Callable[[np.ndarray], np.ndarray],
+    initial_potential: np.ndarray,
+    options: SCFOptions | None = None,
+    cold_potential: np.ndarray | None = None,
+) -> tuple[SCFResult, list[str]]:
+    """:func:`self_consistent_loop` behind a retry/escalation ladder.
+
+    Runs the :func:`scf_escalation` rungs through
+    :func:`repro.runtime.resilience.run_ladder`; if ``cold_potential``
+    is given (the unseeded initial guess of a warm-started solve), a
+    final ``cold`` rung discards the warm-start seed and re-runs the
+    most conservative settings from it.  Returns the converged
+    :class:`SCFResult` plus the rung names tried; exhaustion re-raises
+    the last :class:`~repro.errors.ConvergenceError` with the ladder
+    context attached.  Escalations count under ``scf.retries``.
+    """
+    # Function-level import: negf -> runtime is a sanctioned DAG edge,
+    # but scf.py is imported by runtime-free unit tests of the mixers,
+    # so the dependency stays lazy.
+    from repro.runtime.resilience import run_ladder
+
+    options = options or SCFOptions()
+    rungs: list[tuple[str, Callable[[], SCFResult]]] = []
+
+    def make_attempt(opts: SCFOptions,
+                     start: np.ndarray) -> Callable[[], SCFResult]:
+        raising = SCFOptions(tolerance_ev=opts.tolerance_ev,
+                             max_iterations=opts.max_iterations,
+                             mixer=opts.mixer, raise_on_failure=True)
+        return lambda: self_consistent_loop(
+            solve_charge, solve_potential, start, raising)
+
+    for name, opts in scf_escalation(options):
+        rungs.append((name, make_attempt(opts, initial_potential)))
+    if cold_potential is not None:
+        cold_opts = SCFOptions(tolerance_ev=options.tolerance_ev,
+                               max_iterations=4 * options.max_iterations,
+                               mixer=LinearMixer(beta=0.05),
+                               raise_on_failure=True)
+        rungs.append(("cold", make_attempt(cold_opts, cold_potential)))
+    return run_ladder(rungs, site="scf", counter="scf.retries")

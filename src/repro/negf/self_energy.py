@@ -120,7 +120,11 @@ def sancho_rubio_surface_gf(
             return np.linalg.solve(z - eps_s, np.eye(n, dtype=complex))
     raise ConvergenceError(
         f"Sancho-Rubio iteration did not converge at E = {energy_ev} eV",
-        iterations=max_iter)
+        iterations=max_iter,
+        residual=float(np.max(np.abs(alpha)) + np.max(np.abs(beta))),
+        context={"solver": "sancho_rubio_surface_gf",
+                 "energy_ev": float(energy_ev), "eta_ev": float(eta_ev),
+                 "tol": float(tol), "max_iter": int(max_iter)})
 
 
 def sancho_rubio_surface_gf_batched(
@@ -192,7 +196,72 @@ def sancho_rubio_surface_gf_batched(
     raise ConvergenceError(
         f"batched Sancho-Rubio iteration did not converge "
         f"(slowest energy E = {energies[worst]} eV)",
-        iterations=max_iter)
+        iterations=max_iter,
+        context={"solver": "sancho_rubio_surface_gf_batched",
+                 "energy_ev": float(energies[worst]),
+                 "eta_ev": float(eta_ev), "tol": float(tol),
+                 "max_iter": int(max_iter),
+                 "n_unconverged": int(idx.size)})
+
+
+def _sr_rungs(eta_ev: float, max_iter: int) -> list[tuple[str, float, int]]:
+    """Escalation settings shared by the resilient SR wrappers.
+
+    A decimation that stalls at ``max_iter`` is almost always sitting on
+    a band edge where the couplings decay slowly: more doubling steps
+    usually finish the job, and a 10x eta bump (still well below any
+    physical broadening scale) regularizes the truly singular points at
+    the cost of a slightly smoothed spectral density.
+    """
+    return [("base", eta_ev, max_iter),
+            ("more-iter", eta_ev, 4 * max_iter),
+            ("eta-bump", 10.0 * eta_ev, 4 * max_iter)]
+
+
+def resilient_surface_gf(
+    energy_ev: float,
+    h00: np.ndarray,
+    h01: np.ndarray,
+    eta_ev: float = 1e-6,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """:func:`sancho_rubio_surface_gf` behind a retry ladder.
+
+    Escalates through :func:`_sr_rungs` (raised ``max_iter``, then a
+    small eta bump) via :func:`repro.runtime.resilience.run_ladder`;
+    retries count under ``negf.sr_retries``.  Drop-in replacement: the
+    return value is the surface Green's function of the first rung that
+    converges, and exhaustion re-raises the last
+    :class:`~repro.errors.ConvergenceError` with the rungs tried in its
+    context.
+    """
+    from repro.runtime.resilience import run_ladder
+
+    rungs = [(name, (lambda e, m: lambda: sancho_rubio_surface_gf(
+        energy_ev, h00, h01, eta_ev=e, tol=tol, max_iter=m))(eta, iters))
+        for name, eta, iters in _sr_rungs(eta_ev, max_iter)]
+    result, _ = run_ladder(rungs, site="sr", counter="negf.sr_retries")
+    return result
+
+
+def resilient_surface_gf_batched(
+    energies_ev: np.ndarray,
+    h00: np.ndarray,
+    h01: np.ndarray,
+    eta_ev: float = 1e-6,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """:func:`sancho_rubio_surface_gf_batched` behind the same ladder as
+    :func:`resilient_surface_gf` (``negf.sr_retries`` counts retries)."""
+    from repro.runtime.resilience import run_ladder
+
+    rungs = [(name, (lambda e, m: lambda: sancho_rubio_surface_gf_batched(
+        energies_ev, h00, h01, eta_ev=e, tol=tol, max_iter=m))(eta, iters))
+        for name, eta, iters in _sr_rungs(eta_ev, max_iter)]
+    result, _ = run_ladder(rungs, site="sr", counter="negf.sr_retries")
+    return result
 
 
 def self_energy_from_surface_gf(g_surface: np.ndarray, coupling: np.ndarray) -> np.ndarray:

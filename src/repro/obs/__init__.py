@@ -49,6 +49,10 @@ _FALSEY = ("", "0", "false", "off", "no")
 #: exact beyond the cap, only the stored sample list saturates.
 HISTOGRAM_VALUE_CAP = 4096
 
+#: Structured failure records retained per run; a counter
+#: (``resilience.failures_dropped``) keeps the overflow visible.
+FAILURE_RECORD_CAP = 1024
+
 
 def _env_active() -> bool:
     return os.environ.get(TRACE_ENV, "").strip().lower() not in _FALSEY
@@ -92,6 +96,7 @@ class Recorder:
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, dict[str, Any]] = {}
         self.spans: dict[str, dict[str, Any]] = {}
+        self.failures: list[dict[str, Any]] = []
         self.stack: list[str] = []
 
     # ------------------------------------------------------------------ #
@@ -130,6 +135,17 @@ class Recorder:
         if attrs:
             span["attrs"].update(attrs)
 
+    def record_failure(self, record: Mapping[str, Any]) -> None:
+        """Append one structured quarantine record (JSON-safe mapping).
+
+        Records past :data:`FAILURE_RECORD_CAP` are dropped but counted
+        under ``resilience.failures_dropped`` so saturation is visible.
+        """
+        if len(self.failures) < FAILURE_RECORD_CAP:
+            self.failures.append(dict(record))
+        else:
+            self.incr("resilience.failures_dropped")
+
     def current_path(self) -> str:
         """Path of the innermost open span (empty string at top level)."""
         return self.stack[-1] if self.stack else ""
@@ -152,6 +168,7 @@ class Recorder:
                        "min_s": s["min_s"], "max_s": s["max_s"],
                        "attrs": dict(s["attrs"])}
                 for path, s in sorted(self.spans.items())},
+            "failures": [dict(f) for f in self.failures],
         }
 
     def merge(self, payload: Mapping[str, Any], prefix: str = "") -> None:
@@ -192,6 +209,8 @@ class Recorder:
             span["min_s"] = min(span["min_s"], s["min_s"])
             span["max_s"] = max(span["max_s"], s["max_s"])
             span["attrs"].update(s.get("attrs", {}))
+        for record in payload.get("failures", []):
+            self.record_failure(record)
 
     def reset(self) -> None:
         """Drop all recorded state (open-span stack included)."""
@@ -199,6 +218,7 @@ class Recorder:
         self.gauges.clear()
         self.histograms.clear()
         self.spans.clear()
+        self.failures.clear()
         self.stack.clear()
 
 
@@ -280,6 +300,12 @@ def observe(name: str, value: float) -> None:
         _RECORDER.observe(name, float(value))
 
 
+def record_failure(record: Mapping[str, Any]) -> None:
+    """Record one structured failure record (no-op while disabled)."""
+    if ACTIVE:
+        _RECORDER.record_failure(record)
+
+
 def current_recorder() -> Recorder:
     """The process-wide recorder (mainly for tests and manifests)."""
     return _RECORDER
@@ -335,6 +361,7 @@ from repro.obs.summary import (  # noqa: E402
 __all__ = [
     "ACTIVE",
     "TRACE_ENV",
+    "FAILURE_RECORD_CAP",
     "HISTOGRAM_VALUE_CAP",
     "NULL_SPAN",
     "Recorder",
@@ -347,6 +374,7 @@ __all__ = [
     "gauge",
     "incr",
     "observe",
+    "record_failure",
     "reset",
     "snapshot",
     "span",

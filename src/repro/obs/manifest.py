@@ -99,6 +99,15 @@ def compute_rollups(snapshot: Mapping[str, Any]) -> dict[str, Any]:
         "table_builds": count("cache.table_builds"),
         "table_memory_hits": memory_hits,
         "table_disk_hits": count("cache.table_disk_hits"),
+        # Resilience: how often solves escalated, and what was lost.
+        "resilience_retries": count("resilience.retries"),
+        "scf_retries": count("scf.retries"),
+        "sr_retries": count("negf.sr_retries"),
+        "cells_quarantined": count("resilience.quarantined"),
+        "ladders_exhausted": count("resilience.exhausted"),
+        "worker_crash_recoveries": count("resilience.worker_crash_recoveries"),
+        "checkpoint_writes": count("resilience.checkpoint_writes"),
+        "checkpoint_resumes": count("resilience.checkpoint_resumes"),
     }
 
 
@@ -132,6 +141,7 @@ def build_manifest(label: str,
         "gauges": snap.get("gauges", {}),
         "histograms": snap.get("histograms", {}),
         "spans": snap.get("spans", {}),
+        "failures": snap.get("failures", []),
         "rollups": compute_rollups(snap),
     }
 

@@ -21,6 +21,16 @@ Environment knobs
 ``REPRO_NO_WARMSTART``
     Any non-empty value disables SCF warm-start continuation in every
     sweep driver (cold starts everywhere; see :mod:`repro.runtime.accel`).
+``REPRO_STRICT``
+    Truthy value flips every sweep back to raise-on-first-failure
+    instead of quarantining failed cells (see
+    :mod:`repro.runtime.resilience`).
+``REPRO_CHECKPOINT`` / ``REPRO_RESUME``
+    Checkpoint interval in sweep units, and whether to resume from an
+    existing checkpoint (see :mod:`repro.runtime.resilience`).
+``REPRO_FAULTS``
+    Deterministic fault-injection plan for exercising the recovery
+    paths (see :mod:`repro.runtime.faults`).
 """
 
 from repro.runtime.accel import (
@@ -41,6 +51,7 @@ from repro.runtime.cache import (
     clear_all,
     content_key,
 )
+from repro.runtime.faults import FAULTS_ENV
 from repro.runtime.parallel import (
     WORKERS_ENV,
     batch_indices,
@@ -50,12 +61,31 @@ from repro.runtime.parallel import (
     resolve_workers,
     spawn_seed_sequences,
 )
+from repro.runtime.resilience import (
+    CHECKPOINT_ENV,
+    RESUME_ENV,
+    STRICT_ENV,
+    FailureRecord,
+    SweepCheckpoint,
+    checkpoint_interval,
+    quarantine,
+    recover_parallel,
+    resume_enabled,
+    run_ladder,
+    strict_default,
+)
 
 __all__ = [
     "ArtifactCache",
     "CACHE_DIR_ENV",
+    "CHECKPOINT_ENV",
+    "FAULTS_ENV",
+    "FailureRecord",
     "NO_CACHE_ENV",
     "NO_WARMSTART_ENV",
+    "RESUME_ENV",
+    "STRICT_ENV",
+    "SweepCheckpoint",
     "TABLE_ENGINE_VERSION",
     "WORKERS_ENV",
     "batch_indices",
@@ -64,13 +94,19 @@ __all__ = [
     "cache_enabled",
     "cache_root",
     "canonical_repr",
+    "checkpoint_interval",
     "clear_all",
     "content_key",
     "default_chunk_size",
     "in_worker",
     "parallel_map",
+    "quarantine",
+    "recover_parallel",
     "resolve_workers",
+    "resume_enabled",
+    "run_ladder",
     "spawn_seed_sequences",
     "stacked_identity",
+    "strict_default",
     "warmstart_enabled",
 ]

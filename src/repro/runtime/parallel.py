@@ -38,6 +38,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from repro import obs
+from repro.errors import ParallelMapError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -109,7 +110,17 @@ def parallel_map(
     Results are returned in input order regardless of completion order.
     ``fn`` and the items must be picklable when ``workers > 1`` (i.e.
     ``fn`` must be a module-level function or a :func:`functools.partial`
-    of one).  The first worker exception propagates to the caller.
+    of one).
+
+    Failure contract: on the serial path the item's exception propagates
+    unchanged.  On the pooled path a chunk failure (worker exception or
+    a crashed worker process) raises :class:`~repro.errors.ParallelMapError`
+    with the original exception chained as ``__cause__`` — chunks that
+    finished before the failure surfaced ride along on the wrapper
+    (``completed``, keyed by chunk index) together with the
+    cancelled/completed chunk counts, and their obs payloads are
+    absorbed rather than dropped, so partial progress is neither lost
+    nor invisible.
     """
     items = list(items)
     workers = resolve_workers(workers)
@@ -125,25 +136,50 @@ def parallel_map(
                   items=len(items), chunks=len(chunks)):
         results: list[list[R] | None] = [None] * len(chunks)
         payloads: list[dict | None] = [None] * len(chunks)
+        failed: dict[int, BaseException] = {}
+        n_cancelled = 0
         with ProcessPoolExecutor(
                 max_workers=min(workers, len(chunks))) as pool:
             future_index = {pool.submit(_run_chunk, fn, chunk): k
                             for k, chunk in enumerate(chunks)}
-            done, not_done = wait(future_index, return_when=FIRST_EXCEPTION)
-            for future in not_done:
+            wait(future_index, return_when=FIRST_EXCEPTION)
+            for future in future_index:
                 future.cancel()
-            for future in done:
-                k = future_index[future]
-                results[k], payloads[k] = future.result()  # raises here
-            for future in not_done:
-                if not future.cancelled():
-                    k = future_index[future]
+            # future_index iterates in submission (= chunk) order, so
+            # salvage and failure attribution are deterministic.
+            for future, k in future_index.items():
+                if future.cancelled():
+                    n_cancelled += 1
+                    continue
+                exc = future.exception()  # waits for still-running chunks
+                if exc is not None:
+                    failed[k] = exc
+                else:
                     results[k], payloads[k] = future.result()
         if obs.ACTIVE:
             # Chunk-index order, not completion order: worker metrics
-            # aggregate identically at any worker count.
+            # aggregate identically at any worker count.  Completed
+            # chunks' payloads are absorbed even on the failure path so
+            # their spans/counters are not silently dropped.
             for payload in payloads:
                 obs.absorb(payload)
+        if failed:
+            n_completed = len(chunks) - len(failed) - n_cancelled
+            if obs.ACTIVE:
+                obs.incr("parallel.chunks_failed", len(failed))
+                obs.incr("parallel.chunks_cancelled", n_cancelled)
+                obs.incr("parallel.chunks_salvaged", n_completed)
+            first = min(failed)
+            raise ParallelMapError(
+                f"parallel_map chunk {first} of {len(chunks)} failed "
+                f"({type(failed[first]).__name__}: {failed[first]}); "
+                f"{n_completed} completed chunk(s) salvaged, "
+                f"{n_cancelled} cancelled",
+                completed={k: r for k, r in enumerate(results)
+                           if r is not None},
+                failed={k: repr(e) for k, e in sorted(failed.items())},
+                n_chunks=len(chunks), n_cancelled=n_cancelled,
+                chunk_size=chunk_size) from failed[first]
         return [r for chunk in results
                 for r in chunk]  # type: ignore[union-attr]
 

@@ -35,20 +35,34 @@ distributions at any worker count.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
 
+from repro import obs
 from repro.circuit.ring_oscillator import simulate_ring_oscillator
 from repro.device.tables import DeviceTable
+from repro.errors import ConvergenceError, ParallelMapError
 from repro.exploration.technology import GNRFETTechnology
 from repro.runtime import (
+    TABLE_ENGINE_VERSION,
+    FailureRecord,
+    SweepCheckpoint,
     batch_indices,
+    checkpoint_interval,
+    content_key,
+    in_worker,
     parallel_map,
+    quarantine,
+    recover_parallel,
     resolve_workers,
+    resume_enabled,
     spawn_seed_sequences,
+    strict_default,
 )
+from repro.runtime import faults
 from repro.variability.sampling import discretized_normal_choice
 from repro.variability.variants import DeviceVariant, variant_ribbon_table
 
@@ -70,23 +84,28 @@ class MonteCarloResult:
     vdd: float
     calibration_factor: float = 1.0
     variant_counts: dict = field(default_factory=dict)
+    failures: tuple[FailureRecord, ...] = ()
 
     @property
     def mean_frequency_shift(self) -> float:
-        """Relative shift of the mean frequency vs nominal (paper: ~ -10%)."""
-        return float(np.mean(self.frequencies_hz)
+        """Relative shift of the mean frequency vs nominal (paper: ~ -10%).
+
+        Quarantined samples are NaN rows and excluded from the mean
+        (``failures`` lists them); with no failures this is a plain mean.
+        """
+        return float(np.nanmean(self.frequencies_hz)
                      / self.nominal_frequency_hz - 1.0)
 
     @property
     def mean_static_power_shift(self) -> float:
         """Relative shift of mean static power (paper: ~ +23%)."""
-        return float(np.mean(self.static_power_w)
+        return float(np.nanmean(self.static_power_w)
                      / self.nominal_static_power_w - 1.0)
 
     @property
     def mean_dynamic_power_shift(self) -> float:
         """Relative shift of mean dynamic power (paper: ~unchanged)."""
-        return float(np.mean(self.dynamic_power_w)
+        return float(np.nanmean(self.dynamic_power_w)
                      / self.nominal_dynamic_power_w - 1.0)
 
 
@@ -240,35 +259,60 @@ def _evaluate_batch(
     granularity: str,
     ribbon_data: dict,
     nominal: tuple[dict, dict],
-    seeds: list[np.random.SeedSequence],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, int]]:
-    """Evaluate one contiguous batch of samples (worker-side entry point).
+    strict: bool,
+    task: tuple[tuple[int, ...], list[np.random.SeedSequence]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, int],
+           list[FailureRecord]]:
+    """Evaluate one batch of samples (worker-side entry point).
 
-    Each sample owns a generator spawned from the root seed by sample
+    ``task`` is ``(sample_indices, seeds)`` — global sample indices plus
+    the per-sample seed sequences spawned from the root seed by sample
     index, so results are independent of how samples are batched across
-    workers — ``workers=1`` and ``workers=4`` are bit-for-bit identical.
+    workers — ``workers=1`` and ``workers=4`` are bit-for-bit identical,
+    and a resumed run may re-batch the remaining samples freely.
+
+    The ``scf`` fault-injection site fires per sample (keyed by the
+    global sample index, before any draws, so variant counts stay
+    exact); the ``worker`` site is keyed by the batch's first sample
+    index.  A failed sample is NaN-masked and recorded unless
+    ``strict``.
     """
+    indices, seeds = task
+    if faults.ACTIVE and in_worker():
+        faults.inject("worker", indices[0] if indices else 0)
     cache = _RibbonCache(tech, vdd, vt, data=ribbon_data)
     n_ribbons = tech.params.n_ribbons
     n = len(seeds)
-    freqs = np.empty(n)
-    p_dyns = np.empty(n)
-    p_stats = np.empty(n)
+    freqs = np.full(n, np.nan)
+    p_dyns = np.full(n, np.nan)
+    p_stats = np.full(n, np.nan)
     counts: dict[str, int] = {}
+    failures: list[FailureRecord] = []
     for k, seed_seq in enumerate(seeds):
+        sample = int(indices[k])
         rng = np.random.default_rng(seed_seq)
-        stages = [
-            (_draw_device(rng, cache, granularity, n_ribbons, width_levels,
-                          charge_levels, counts, +1),
-             _draw_device(rng, cache, granularity, n_ribbons, width_levels,
-                          charge_levels, counts, -1))
-            for _ in range(n_stages)]
-        f, p_dyn, p_stat = _surrogate_oscillator(stages, nominal, vdd,
-                                                 tech.params)
+        try:
+            if faults.ACTIVE:
+                faults.inject("scf", sample, detail=f"sample={sample}")
+            stages = [
+                (_draw_device(rng, cache, granularity, n_ribbons,
+                              width_levels, charge_levels, counts, +1),
+                 _draw_device(rng, cache, granularity, n_ribbons,
+                              width_levels, charge_levels, counts, -1))
+                for _ in range(n_stages)]
+            f, p_dyn, p_stat = _surrogate_oscillator(stages, nominal, vdd,
+                                                     tech.params)
+        except ConvergenceError as exc:
+            if strict:
+                raise exc.with_context(sample_index=sample)
+            failures.append(quarantine(
+                exc, site="montecarlo", index=sample, coords=(sample,),
+                bias={"vdd": float(vdd), "vt": float(vt)}))
+            continue
         freqs[k] = f
         p_dyns[k] = p_dyn
         p_stats[k] = p_stat
-    return freqs, p_dyns, p_stats, counts
+    return freqs, p_dyns, p_stats, counts, failures
 
 
 def run_ring_oscillator_monte_carlo(
@@ -283,6 +327,9 @@ def run_ring_oscillator_monte_carlo(
     granularity: str = "ribbon",
     calibrate_against_transient: bool = False,
     workers: int | None = None,
+    strict: bool | None = None,
+    checkpoint: int | None = None,
+    resume: bool | None = None,
 ) -> MonteCarloResult:
     """Fig. 6: sample width/impurity variations of every inverter.
 
@@ -300,10 +347,23 @@ def run_ring_oscillator_monte_carlo(
     sample draws from its own generator spawned from ``seed`` by sample
     index, so the distributions are bit-for-bit identical at any worker
     count.
+
+    ``strict`` (default from ``REPRO_STRICT``) re-raises the first
+    failed sample; otherwise failed samples are NaN rows recorded on
+    ``failures`` (the shift properties skip them).  ``checkpoint``
+    (default from ``REPRO_CHECKPOINT``) is the interval in completed
+    samples between atomic progress snapshots; ``resume`` (default from
+    ``REPRO_RESUME``) reloads one and evaluates only the missing
+    samples — bitwise-identical to an uninterrupted run because every
+    sample is keyed by its global index.
     """
     if granularity not in ("ribbon", "device"):
         raise ValueError(f"granularity must be 'ribbon' or 'device', "
                          f"got {granularity!r}")
+    strict = strict_default() if strict is None else strict
+    interval = (checkpoint_interval() if checkpoint is None
+                else max(0, int(checkpoint)))
+    resume = resume_enabled() if resume is None else resume
     n_workers = resolve_workers(workers)
     cache = _RibbonCache(tech, vdd, vt)
     n_ribbons = tech.params.n_ribbons
@@ -333,21 +393,106 @@ def run_ring_oscillator_monte_carlo(
     seeds = spawn_seed_sequences(seed, n_samples)
     eval_fn = partial(_evaluate_batch, tech, vdd, vt, n_stages,
                       width_levels, charge_levels, granularity, cache.data,
-                      nominal)
-    if n_workers <= 1:
-        batches = [seeds]
-    else:
-        batches = [seeds[r.start:r.stop]
-                   for r in batch_indices(n_samples, n_workers * 4)]
-    results = parallel_map(eval_fn, batches, workers=workers, chunk_size=1)
+                      nominal, strict)
 
-    freqs = np.concatenate([r[0] for r in results])
-    p_dyns = np.concatenate([r[1] for r in results])
-    p_stats = np.concatenate([r[2] for r in results])
+    freqs = np.full(n_samples, np.nan)
+    p_dyns = np.full(n_samples, np.nan)
+    p_stats = np.full(n_samples, np.nan)
+    done = np.zeros(n_samples, dtype=bool)
     counts: dict[str, int] = {}
-    for r in results:
-        for label, c in r[3].items():
+    failures: list[FailureRecord] = []
+
+    ckpt: SweepCheckpoint | None = None
+    if interval > 0 or resume:
+        key = content_key("monte_carlo", tech.geometry, tech.params,
+                          n_samples, vdd, vt, n_stages,
+                          tuple(width_levels), tuple(charge_levels), seed,
+                          granularity, TABLE_ENGINE_VERSION)
+        ckpt = SweepCheckpoint(key, interval=interval)
+        if resume:
+            loaded = ckpt.load()
+            if loaded is not None and loaded[0].shape == done.shape:
+                done, arrays, saved_failures = loaded
+                freqs = np.asarray(arrays["frequencies_hz"], dtype=float)
+                p_dyns = np.asarray(arrays["dynamic_power_w"], dtype=float)
+                p_stats = np.asarray(arrays["static_power_w"], dtype=float)
+                counts = {str(k): int(v) for k, v in json.loads(
+                    str(arrays["counts_json"])).items()}
+                for record in saved_failures:
+                    failures.append(record)
+                    if obs.ACTIVE:
+                        obs.incr("resilience.quarantined")
+                        obs.record_failure(record.to_dict())
+
+    def save_checkpoint() -> None:
+        assert ckpt is not None
+        ckpt.save(done, {
+            "frequencies_hz": freqs, "dynamic_power_w": p_dyns,
+            "static_power_w": p_stats,
+            "counts_json": np.array(json.dumps(counts, sort_keys=True)),
+        }, failures)
+
+    def store(task, result) -> None:
+        indices = task[0]
+        b_freqs, b_dyns, b_stats, b_counts, b_failures = result
+        for k, sample in enumerate(indices):
+            freqs[sample] = b_freqs[k]
+            p_dyns[sample] = b_dyns[k]
+            p_stats[sample] = b_stats[k]
+            done[sample] = True
+        for label, c in b_counts.items():
             counts[label] = counts.get(label, 0) + c
+        failures.extend(b_failures)
+
+    remaining = [i for i in range(n_samples) if not done[i]]
+    checkpointing = ckpt is not None and ckpt.enabled and interval > 0
+    if checkpointing:
+        # One batch per checkpoint interval, independent of the worker
+        # count, so a killed run can resume under any parallelism.
+        n_batches = max(1, -(-len(remaining) // max(1, interval)))
+    elif n_workers <= 1:
+        n_batches = 1
+    else:
+        n_batches = n_workers * 4
+    tasks = []
+    if remaining:
+        for r in batch_indices(len(remaining), n_batches):
+            idx = tuple(remaining[r.start:r.stop])
+            tasks.append((idx, [seeds[i] for i in idx]))
+
+    if not checkpointing or n_workers <= 1:
+        if n_workers <= 1 and checkpointing:
+            for task in tasks:
+                store(task, eval_fn(task))
+                save_checkpoint()
+        else:
+            try:
+                results = parallel_map(eval_fn, tasks, workers=workers,
+                                       chunk_size=1)
+            except ParallelMapError as err:
+                if strict:
+                    raise
+                results = recover_parallel(err, eval_fn, tasks)
+            for task, result in zip(tasks, results):
+                store(task, result)
+    else:
+        # Parallel + checkpointing: dispatch one pool-width of batches
+        # per wave so a snapshot lands between waves.
+        wave_size = max(1, n_workers)
+        for w in range(0, len(tasks), wave_size):
+            wave = tasks[w:w + wave_size]
+            try:
+                results = parallel_map(eval_fn, wave, workers=workers,
+                                       chunk_size=1)
+            except ParallelMapError as err:
+                if strict:
+                    raise
+                results = recover_parallel(err, eval_fn, wave)
+            for task, result in zip(wave, results):
+                store(task, result)
+            save_checkpoint()
+    if ckpt is not None:
+        ckpt.clear()
 
     return MonteCarloResult(
         frequencies_hz=freqs * calibration,
@@ -358,4 +503,5 @@ def run_ring_oscillator_monte_carlo(
         nominal_static_power_w=p_stat_nom,
         n_stages=n_stages, vdd=vdd,
         calibration_factor=calibration,
-        variant_counts=counts)
+        variant_counts=counts,
+        failures=tuple(failures))

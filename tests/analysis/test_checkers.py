@@ -11,6 +11,7 @@ from repro.analysis.checkers.layering import (
     LayeringChecker,
     allowed_imports,
 )
+from repro.analysis.checkers.resilience import ResilienceChecker
 from repro.analysis.checkers.units import UnitsChecker, match_constant
 from repro.analysis.engine import Project, load_module
 
@@ -298,3 +299,71 @@ class TestContracts:
         """, rel="src/repro/negf/example.py")
         assert not [f for f in _check(ContractsChecker(), m)
                     if f.code == "RPA404"]
+
+
+class TestResilience:
+    def test_rpa501_broad_except_flagged(self, tmp_path):
+        m = _module(tmp_path, """\
+            def risky():
+                try:
+                    return 1 / 0
+                except Exception:
+                    return None
+        """)
+        codes = [f.code for f in _check(ResilienceChecker(), m)]
+        assert codes == ["RPA501"]
+
+    def test_rpa501_bare_except_flagged(self, tmp_path):
+        m = _module(tmp_path, """\
+            def risky():
+                try:
+                    return 1 / 0
+                except:
+                    return None
+        """)
+        codes = [f.code for f in _check(ResilienceChecker(), m)]
+        assert codes == ["RPA501"]
+
+    def test_rpa501_tuple_with_broad_member_flagged(self, tmp_path):
+        m = _module(tmp_path, """\
+            def risky():
+                try:
+                    return 1 / 0
+                except (ValueError, BaseException):
+                    return None
+        """)
+        codes = [f.code for f in _check(ResilienceChecker(), m)]
+        assert codes == ["RPA501"]
+
+    def test_narrow_except_is_clean(self, tmp_path):
+        m = _module(tmp_path, """\
+            def careful():
+                try:
+                    return 1 / 0
+                except ZeroDivisionError:
+                    return None
+        """)
+        assert _check(ResilienceChecker(), m) == []
+
+    def test_cleanup_then_reraise_is_clean(self, tmp_path):
+        m = _module(tmp_path, """\
+            import os
+
+            def atomic_write(tmp):
+                try:
+                    os.replace(tmp, "final")
+                except BaseException:
+                    os.unlink(tmp)
+                    raise
+        """)
+        assert _check(ResilienceChecker(), m) == []
+
+    def test_resilience_module_is_exempt(self, tmp_path):
+        m = _module(tmp_path, """\
+            def absorb():
+                try:
+                    return 1 / 0
+                except Exception:
+                    return None
+        """, rel="src/repro/runtime/resilience.py")
+        assert _check(ResilienceChecker(), m) == []

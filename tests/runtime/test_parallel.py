@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ParallelMapError
 from repro.runtime.parallel import (
     WORKERS_ENV,
     _IN_WORKER_ENV,
@@ -82,9 +83,24 @@ class TestParallelMap:
         assert parallel_map(_square, [], workers=4) == []
         assert parallel_map(_square, [5], workers=4) == [25]
 
-    def test_worker_exception_propagates(self):
-        with pytest.raises(ValueError, match="boom"):
-            parallel_map(_fail_on_13, list(range(20)), workers=2)
+    def test_worker_exception_wrapped_with_salvage(self):
+        """Pooled failures raise ParallelMapError chaining the original
+        exception, with completed chunks salvaged on the wrapper."""
+        with pytest.raises(ParallelMapError) as info:
+            parallel_map(_fail_on_13, list(range(20)), workers=2,
+                         chunk_size=5)
+        err = info.value
+        assert isinstance(err.__cause__, ValueError)
+        assert "boom" in str(err.__cause__)
+        assert err.n_chunks == 4
+        assert err.chunk_size == 5
+        # Chunk 2 (items 10..14) holds 13; the others either completed
+        # or were cancelled, and every completed chunk is intact.
+        assert set(err.failed) == {2}
+        for k, chunk_results in err.completed.items():
+            start = k * err.chunk_size
+            assert chunk_results == list(range(start, start + 5))
+        assert len(err.completed) + len(err.failed) + err.n_cancelled == 4
 
     def test_serial_exception_propagates(self):
         with pytest.raises(ValueError, match="boom"):
