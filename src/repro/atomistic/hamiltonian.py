@@ -17,6 +17,8 @@ symmetric.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.constants import EDGE_RELAXATION, T_HOPPING_EV
@@ -59,6 +61,28 @@ def build_unit_cell_hamiltonian(
         h00[j, i] = -t_bond
     for i, j in ribbon.inter_cell_bonds():
         h01[i, j] = -hopping_ev
+    return h00, h01
+
+
+@lru_cache(maxsize=64)
+def cached_unit_cell_hamiltonian(
+    n_index: int,
+    hopping_ev: float = T_HOPPING_EV,
+    edge_relaxation: float = EDGE_RELAXATION,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(H00, H01)`` of the ``N = n_index`` A-GNR unit cell.
+
+    Sweep drivers re-instantiate transport engines per bias point, and
+    each instantiation used to re-walk the bond lists.  The blocks
+    depend only on ``(n_index, hopping, edge_relaxation)``, so they are
+    derived once and shared; the returned arrays are marked read-only —
+    callers that fold in an on-site potential must ``.copy()`` first.
+    """
+    h00, h01 = build_unit_cell_hamiltonian(
+        ArmchairGNR(n_index), hopping_ev=hopping_ev,
+        edge_relaxation=edge_relaxation)
+    h00.setflags(write=False)
+    h01.setflags(write=False)
     return h00, h01
 
 

@@ -25,6 +25,7 @@ from repro.atomistic.bandstructure import (
     effective_masses,
     subband_edges,
 )
+from repro.atomistic.hamiltonian import cached_unit_cell_hamiltonian
 
 
 @dataclass(frozen=True)
@@ -105,3 +106,158 @@ def transverse_modes(
                                     mass_kg=float(mass),
                                     velocity_m_per_s=vel))
     return tuple(modes)
+
+
+@dataclass(frozen=True)
+class ModeBasis:
+    """Orthonormal transverse-mode basis that block-diagonalizes the lead.
+
+    The columns of :attr:`vectors` are grouped into invariant subspaces
+    of the *uniform-hopping* unit-cell pair ``(H00, H01)``: every block
+    simultaneously block-diagonalizes both matrices, so the reduction is
+    exact at every longitudinal wave vector (it commutes with the Bloch
+    phase).  Blocks are ordered by their conduction-subband edge, lowest
+    first; a block of size ``s`` carries ``s // 2`` conduction/valence
+    subband pairs (the two-atom basis rows double each transverse
+    channel).
+
+    Keeping the first ``k`` blocks is the coupled mode-space
+    approximation of Zhao-Guo (arXiv:0902.4621): edge-bond relaxation
+    and any transversely non-uniform potential acquire a (small)
+    truncated coupling to the discarded blocks, while a transversely
+    *uniform* potential projects exactly (``U^T (H + u I) U =
+    U^T H U + u I``).  Retaining all blocks reproduces real-space
+    transport to round-off.
+    """
+
+    n_index: int
+    block_edges_ev: tuple[float, ...]
+    block_sizes: tuple[int, ...]
+    vectors: np.ndarray  # (2N, 2N) read-only, columns grouped per block
+
+    @property
+    def n_orbitals(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_sizes)
+
+    @property
+    def subbands_per_block(self) -> tuple[int, ...]:
+        return tuple(s // 2 for s in self.block_sizes)
+
+    def blocks_for_modes(self, n_modes: int) -> int:
+        """Smallest leading block count covering ``n_modes`` subbands."""
+        if n_modes < 1:
+            raise ValueError(f"need at least one mode, got {n_modes}")
+        covered = 0
+        for k, per in enumerate(self.subbands_per_block):
+            covered += per
+            if covered >= n_modes:
+                return k + 1
+        return self.n_blocks
+
+    def projector(self, n_modes: int | None = None) -> np.ndarray:
+        """Column basis ``U`` spanning enough blocks for ``n_modes``.
+
+        ``None`` keeps every block (full rank: exact transport).  The
+        returned view is read-only; shape ``(2N, m)`` with ``m`` the sum
+        of the retained block sizes (``m >= 2 n_modes`` — blocks are
+        kept whole so the reduction stays exactly invariant).
+        """
+        if n_modes is None:
+            return self.vectors
+        kept = self.blocks_for_modes(n_modes)
+        m = int(sum(self.block_sizes[:kept]))
+        return self.vectors[:, :m]
+
+
+@lru_cache(maxsize=32)
+def transverse_mode_basis(  # repro: noqa[RPA104] — fixed-seed construction detail, not sampling; an injectable rng would break the cached basis' determinism
+    n_index: int,
+    hopping_ev: float = T_HOPPING_EV,
+) -> ModeBasis:
+    """Build the invariant-subspace mode basis of an ``N = n_index`` lead.
+
+    The basis must commute with *both* uniform unit-cell matrices
+    ``H00`` and ``H01`` so that the block structure survives at every
+    wave vector.  It is found through the commutant: symmetric matrices
+    ``M`` with ``[M, H00] = [M, H01] = 0`` form a small linear space
+    (the nullspace of the stacked Kronecker commutator operators,
+    restricted to symmetric matrices); the eigenspaces of one generic
+    (deterministically seeded) commutant element are the common
+    invariant subspaces.  Eigenvalues are clustered with a fixed gap
+    tolerance, each cluster's eigenvectors form one orthonormal block,
+    and blocks are sorted by the conduction edge of their reduced Bloch
+    Hamiltonian, sampled over the Brillouin zone.
+
+    Edge relaxation is deliberately *not* a parameter: the basis comes
+    from the uniform-hopping lead (where the block structure is exact),
+    and the edge-bond correction is projected approximately by the
+    transport engine.  Results are cached per ``(n_index, hopping)``.
+    """
+    h00, h01 = cached_unit_cell_hamiltonian(
+        n_index, hopping_ev=hopping_ev, edge_relaxation=0.0)
+    n = h00.shape[0]
+
+    # Commutant of {H00, H01} within symmetric matrices: vec([M, H]) =
+    # (I (x) H - H^T (x) I) vec(M), so stack both commutator operators
+    # and restrict to the symmetric-matrix basis.
+    def commutator_operator(h: np.ndarray) -> np.ndarray:
+        return np.kron(np.eye(n), h) - np.kron(h.T, np.eye(n))
+
+    stacked = np.vstack([commutator_operator(h00), commutator_operator(h01)])
+    pairs = [(i, j) for i in range(n) for j in range(i, n)]
+    sym_basis = np.zeros((n * n, len(pairs)))
+    for col, (i, j) in enumerate(pairs):
+        m_ij = np.zeros((n, n))
+        m_ij[i, j] = 1.0
+        m_ij[j, i] = 1.0
+        sym_basis[:, col] = m_ij.ravel()
+    _, singular, vt = np.linalg.svd(stacked @ sym_basis)
+    null_dim = int(np.sum(singular < singular[0] * 1e-10))
+    if null_dim == 0:
+        raise RuntimeError(
+            f"empty commutant for N={n_index} A-GNR lead; "
+            "cannot build a mode basis")
+
+    # A generic element of the commutant separates the invariant
+    # subspaces; the seed is fixed so the basis is deterministic.
+    rng = np.random.default_rng(20260808)
+    coeffs = vt[-null_dim:].T @ rng.normal(size=null_dim)
+    generic = (sym_basis @ coeffs).reshape(n, n)
+    generic = 0.5 * (generic + generic.T)
+    generic /= np.max(np.abs(generic))
+    eigvals, eigvecs = np.linalg.eigh(generic)
+
+    clusters: list[list[int]] = [[0]]
+    for i in range(1, n):
+        if eigvals[i] - eigvals[i - 1] < 1e-6:
+            clusters[-1].append(i)
+        else:
+            clusters.append([i])
+
+    # Order blocks by the conduction edge of their reduced band
+    # structure min_k |eig(H00_b + H01_b e^{ik} + H01_b^T e^{-ik})|.
+    k_grid = np.linspace(0.0, np.pi, 129)
+    blocks: list[tuple[float, np.ndarray]] = []
+    for cluster in clusters:
+        u = eigvecs[:, cluster]
+        b00 = u.T @ h00 @ u
+        b01 = u.T @ h01 @ u
+        edge = np.inf
+        for k in k_grid:
+            h_k = b00 + b01 * np.exp(1j * k) + b01.T * np.exp(-1j * k)
+            edge = min(edge, float(np.min(np.abs(np.linalg.eigvalsh(h_k)))))
+        blocks.append((edge, u))
+    blocks.sort(key=lambda item: item[0])
+
+    vectors = np.hstack([u for _, u in blocks])
+    vectors.setflags(write=False)
+    return ModeBasis(
+        n_index=n_index,
+        block_edges_ev=tuple(edge for edge, _ in blocks),
+        block_sizes=tuple(u.shape[1] for _, u in blocks),
+        vectors=vectors,
+    )

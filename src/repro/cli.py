@@ -6,6 +6,7 @@ Usage::
     repro run fig4 [--fast] [--out report.txt] [--workers 4] [--no-cache]
     repro run all [--fast] [--sanitize] [--trace]
     repro run fig4 [--strict] [--checkpoint N] [--resume] [--faults SPEC]
+    repro run fig4 [--engine modespace] [--backend numba]
     repro lint [paths ...] [--format json] [--baseline FILE]
     repro cache info
     repro cache clear
@@ -23,8 +24,12 @@ report, and ``repro lint`` is the static analysis front end of
 / ``--faults SPEC`` configure the resilience layer of
 :mod:`repro.runtime.resilience` (see ``docs/robustness.md``) by
 exporting ``REPRO_STRICT`` / ``REPRO_CHECKPOINT`` / ``REPRO_RESUME`` /
-``REPRO_FAULTS``.  ``repro trace summarize`` renders a manifest as
-a human-readable summary (or a condensed JSON document).
+``REPRO_FAULTS``.  ``--engine`` selects the transport engine behind
+the device sweeps (:mod:`repro.device.engines`, exporting
+``REPRO_ENGINE``) and ``--backend`` the array backend behind the NEGF
+kernels (:mod:`repro.runtime.backend`, exporting ``REPRO_BACKEND``).
+``repro trace summarize`` renders a manifest as a human-readable
+summary (or a condensed JSON document).
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ from pathlib import Path
 from repro import obs, sanitize
 from repro.analysis.cli import build_parser as build_lint_parser
 from repro.analysis.cli import main as lint_main
+from repro.device.engines import ENGINE_ENV, ENGINES
+from repro.runtime.backend import BACKEND_ENV, BACKEND_NAMES
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
 from repro.runtime import (
     CHECKPOINT_ENV,
@@ -76,6 +83,10 @@ def _apply_runtime_flags(args) -> None:
         os.environ[FAULTS_ENV] = str(args.faults)
         from repro.runtime import faults as _faults
         _faults.enable(str(args.faults))
+    if getattr(args, "engine", None):
+        os.environ[ENGINE_ENV] = str(args.engine)
+    if getattr(args, "backend", None):
+        os.environ[BACKEND_ENV] = str(args.backend)
     if getattr(args, "sanitize", False):
         sanitize.enable()
     if getattr(args, "trace", False):
@@ -202,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "'scf@3,17x2;worker@1' "
                             "(equivalent to REPRO_FAULTS=SPEC; testing "
                             "aid — see docs/robustness.md)")
+    p_run.add_argument("--engine", choices=ENGINES, default=None,
+                       help="transport engine for device sweeps "
+                            "(equivalent to REPRO_ENGINE=NAME; default "
+                            "semianalytic)")
+    p_run.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                       help="array backend for the NEGF kernels "
+                            "(equivalent to REPRO_BACKEND=NAME; default "
+                            "numpy)")
     p_run.add_argument("--trace", action="store_true",
                        help="enable tracing/metrics and write a JSON run "
                             "manifest (equivalent to REPRO_TRACE=1)")

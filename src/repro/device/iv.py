@@ -36,11 +36,11 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.device.engines import engine_version, resolve_engine
 from repro.device.geometry import GNRFETGeometry
 from repro.device.sbfet import SBFETModel, SBFETSolution
 from repro.errors import ConvergenceError, ParallelMapError
 from repro.runtime import (
-    TABLE_ENGINE_VERSION,
     FailureRecord,
     SweepCheckpoint,
     checkpoint_interval,
@@ -159,7 +159,7 @@ def solve_cell_resilient(model: SBFETModel, vg: float, vd: float,
 
 
 def _solve_iv_row(geometry: GNRFETGeometry, vd_grid: np.ndarray,
-                  n_modes: int | None, strict: bool,
+                  n_modes: int | None, strict: bool, engine: str,
                   task: tuple[int, float],
                   model: SBFETModel | None = None
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
@@ -179,7 +179,7 @@ def _solve_iv_row(geometry: GNRFETGeometry, vd_grid: np.ndarray,
     """
     i, vg = task
     if model is None:
-        model = SBFETModel(geometry, n_modes=n_modes)
+        model = SBFETModel(geometry, n_modes=n_modes, engine=engine)
     if faults.ACTIVE and in_worker():
         faults.inject("worker", i)
     n_vd = vd_grid.size
@@ -232,12 +232,18 @@ def sweep_iv(
     strict: bool | None = None,
     checkpoint: int | None = None,
     resume: bool | None = None,
+    engine: str | None = None,
 ) -> IVSweep:
-    """Run the fast SBFET engine over a (V_G, V_D) grid.
+    """Run the selected transport engine over a (V_G, V_D) grid.
 
     ``workers`` > 1 fans the gate rows out across a process pool (default
     comes from ``REPRO_WORKERS``; unset means serial).  Parallel results
     are bit-for-bit identical to serial ones.
+
+    ``engine`` picks the transmission engine (argument > ``REPRO_ENGINE``
+    > ``semianalytic``; see :mod:`repro.device.engines`).  The resolved
+    name and its version tag enter the checkpoint key, so checkpoints
+    from different engines can never be resumed into each other.
 
     ``strict`` (default from ``REPRO_STRICT``, normally ``False``)
     re-raises the first exhausted cell instead of quarantining it.
@@ -254,6 +260,7 @@ def sweep_iv(
     if np.any(np.diff(vg_grid) <= 0) or np.any(np.diff(vd_grid) <= 0):
         raise ValueError("bias grids must be strictly ascending")
 
+    engine = resolve_engine(engine)
     strict = strict_default() if strict is None else strict
     interval = (checkpoint_interval() if checkpoint is None
                 else max(0, int(checkpoint)))
@@ -269,7 +276,8 @@ def sweep_iv(
     ckpt: SweepCheckpoint | None = None
     if interval > 0 or resume:
         key = content_key("sweep_iv", geometry, vg_grid, vd_grid, n_modes,
-                          TABLE_ENGINE_VERSION, warmstart_enabled())
+                          engine, engine_version(engine),
+                          warmstart_enabled())
         ckpt = SweepCheckpoint(key, interval=interval)
         if resume:
             loaded = ckpt.load()
@@ -299,7 +307,7 @@ def sweep_iv(
 
     tasks = [(int(i), float(vg_grid[i]))
              for i in range(vg_grid.size) if not done[i]]
-    fn = partial(_solve_iv_row, geometry, vd_grid, n_modes, strict)
+    fn = partial(_solve_iv_row, geometry, vd_grid, n_modes, strict, engine)
     with obs.span("device.sweep_iv", n_index=geometry.n_index,
                   grid=f"{vg_grid.size}x{vd_grid.size}"):
         if resolve_workers(workers) <= 1:
@@ -307,7 +315,7 @@ def sweep_iv(
             # through the same helper as the parallel path (per-row
             # warm-start continuation, cold start at row boundaries), so
             # serial and parallel sweeps stay bit-for-bit identical.
-            model = SBFETModel(geometry, n_modes=n_modes)
+            model = SBFETModel(geometry, n_modes=n_modes, engine=engine)
             for task in tasks:
                 store(task[0], fn(task, model=model))
                 if ckpt is not None and ckpt.due():

@@ -95,21 +95,35 @@ class RealSpaceGNRDevice:
     onsite_ev:
         Per-atom on-site energies (potential profile, impurities, edge
         vacancies), length ``2 * n_index * n_cells``; scalar broadcast.
+    lead_onsite_ev:
+        Rigid potential shifts ``(source, drain)`` applied to the two
+        semi-infinite leads (e.g. the endpoints of a device profile);
+        the default ``(0, 0)`` leaves the legacy midgap-at-zero leads
+        bitwise unchanged.
     """
 
     def __init__(self, n_index: int, n_cells: int,
                  onsite_ev: np.ndarray | float = 0.0,
                  hopping_ev: float = T_HOPPING_EV,
-                 edge_relaxation: float = EDGE_RELAXATION):
+                 edge_relaxation: float = EDGE_RELAXATION,
+                 lead_onsite_ev: tuple[float, float] = (0.0, 0.0)):
         if n_cells < 1:
             raise InvalidDeviceError("device needs at least one cell")
         self.ribbon = ArmchairGNR(n_index, n_cells=n_cells)
         self.hopping_ev = hopping_ev
         self.edge_relaxation = edge_relaxation
+        self.lead_onsite_ev = (float(lead_onsite_ev[0]),
+                               float(lead_onsite_ev[1]))
         self.diagonal, self.coupling = block_tridiagonal_blocks(
             self.ribbon, onsite_ev, hopping_ev, edge_relaxation)
         self._h00, self._h01 = build_unit_cell_hamiltonian(
             ArmchairGNR(n_index), hopping_ev, edge_relaxation)
+
+    def _lead_h00(self, side: int) -> np.ndarray:
+        shift = self.lead_onsite_ev[side]
+        if shift:
+            return self._h00 + shift * np.eye(self._h00.shape[0])
+        return self._h00
 
     # ------------------------------------------------------------------ #
     def lead_self_energies(self, energy_ev: float, eta_ev: float = 1e-6
@@ -123,10 +137,10 @@ class RealSpaceGNRDevice:
         rung runs the exact legacy settings, so a converging decimation
         is bitwise-unchanged).
         """
-        g_left = resilient_surface_gf(energy_ev, self._h00,
+        g_left = resilient_surface_gf(energy_ev, self._lead_h00(0),
                                       self._h01.T, eta_ev)
         sigma_l = self_energy_from_surface_gf(g_left, self._h01.T)
-        g_right = resilient_surface_gf(energy_ev, self._h00,
+        g_right = resilient_surface_gf(energy_ev, self._lead_h00(1),
                                        self._h01, eta_ev)
         sigma_r = self_energy_from_surface_gf(g_right, self._h01)
         return sigma_l, sigma_r
@@ -151,10 +165,10 @@ class RealSpaceGNRDevice:
         """
         energies_ev = np.asarray(energies_ev, dtype=float)
         g_left = resilient_surface_gf_batched(
-            energies_ev, self._h00, self._h01.T, eta_ev)
+            energies_ev, self._lead_h00(0), self._h01.T, eta_ev)
         sigma_l = self_energy_from_surface_gf(g_left, self._h01.T)
         g_right = resilient_surface_gf_batched(
-            energies_ev, self._h00, self._h01, eta_ev)
+            energies_ev, self._lead_h00(1), self._h01, eta_ev)
         sigma_r = self_energy_from_surface_gf(g_right, self._h01)
         return sigma_l, sigma_r
 

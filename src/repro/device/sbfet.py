@@ -47,6 +47,7 @@ from repro.constants import (
     thermal_energy_ev,
 )
 from repro.atomistic.modespace import TransverseMode, transverse_modes
+from repro.device.engines import AtomisticTransport, resolve_engine
 from repro.device.geometry import GNRFETGeometry, GRAPHENE_THICKNESS_NM
 from repro.errors import ConvergenceError
 from repro.negf.energy_grid import adaptive_energy_grid
@@ -114,18 +115,35 @@ class SBFETModel:
         k-grid resolution for the charge integrals.
     mode_cutoff_ev:
         Subband-edge cutoff used when ``n_modes`` is ``None``.
+    engine:
+        Transport engine computing ``transmission`` (see
+        :mod:`repro.device.engines`): ``semianalytic`` (default; the
+        WKB kernel below), ``modespace`` (coupled mode-space NEGF on
+        the retained subbands) or ``realspace`` (full atomistic NEGF).
+        ``None`` defers to ``REPRO_ENGINE``.  The electrostatics
+        (bisection, density LUT) are shared by all engines.
     """
 
     def __init__(self, geometry: GNRFETGeometry, n_modes: int | None = None,
                  n_x: int = 81, n_k: int = 161,
-                 mode_cutoff_ev: float = 1.35):
+                 mode_cutoff_ev: float = 1.35,
+                 engine: str | None = None):
         self.geometry = geometry
+        self.engine = resolve_engine(engine)
         if n_modes is None:
             candidates = transverse_modes(geometry.n_index, 6)
             n_modes = max(2, sum(1 for m in candidates
                                  if m.edge_ev < mode_cutoff_ev))
         self.modes: tuple[TransverseMode, ...] = transverse_modes(
             geometry.n_index, n_modes)
+        if self.engine == "semianalytic":
+            self._atomistic = None
+        else:
+            # realspace keeps the full orbital basis; modespace retains
+            # the same subband count the WKB kernel would sum over.
+            self._atomistic = AtomisticTransport(
+                self.engine, geometry.n_index, geometry.channel_length_nm,
+                n_modes=None if self.engine == "realspace" else n_modes)
         self.kt_ev = thermal_energy_ev(geometry.temperature_k)
 
         length = geometry.channel_length_nm
@@ -329,7 +347,23 @@ class SBFETModel:
         A mode transmits through whichever channel survives better
         (interband mixing is neglected), and modes add as independent
         Landauer channels.
+
+        When a NEGF engine is selected (``engine=`` / ``REPRO_ENGINE``),
+        the WKB evaluation below is replaced by the corresponding
+        atomistic kernel on the same profile; everything upstream
+        (electrostatics, energy grids, current integral) is shared.
         """
+        if self._atomistic is not None:
+            if obs.ACTIVE:
+                obs.incr(f"device.engine.{self.engine}")
+            total = self._atomistic.transmission(
+                energies_ev, profile_midgap_ev, self._x_nm)
+            if sanitize.ACTIVE:
+                sanitize.check_transmission(
+                    total, 2 * self.geometry.n_index,
+                    "SBFETModel.transmission",
+                    energies_ev=np.asarray(energies_ev, dtype=float))
+            return total
         e = np.asarray(energies_ev, dtype=float)[:, None]
         u = np.asarray(profile_midgap_ev, dtype=float)[None, :]
         # Interior midgap level and impurity-induced well depths for the

@@ -25,11 +25,11 @@ from pathlib import Path
 import numpy as np
 
 from repro import obs
+from repro.device.engines import DEFAULT_ENGINE, engine_version, resolve_engine
 from repro.device.geometry import GNRFETGeometry
 from repro.device.iv import IVSweep, sweep_iv
 from repro.errors import TableRangeError
 from repro.runtime import (
-    TABLE_ENGINE_VERSION,
     ArtifactCache,
     content_key,
     warmstart_enabled,
@@ -351,18 +351,24 @@ def table_cache_key(
     vg_grid: np.ndarray,
     vd_grid: np.ndarray,
     n_modes: int | None,
-    version: str = TABLE_ENGINE_VERSION,
+    engine: str | None = None,
+    version: str | None = None,
 ) -> str:
     """Stable content hash identifying one table build on disk.
 
     Any change to the geometry (including nested impurity fields), either
-    bias grid, the retained mode count, or the engine version tag yields
-    a different key, so stale artifacts are orphaned, never reused.  The
-    warm-start state is part of the key: continuation moves converged
-    midgaps within the bisection tolerance, and a ``REPRO_NO_WARMSTART``
-    run must not silently reuse (or poison) warm-started artifacts.
+    bias grid, the retained mode count, the transport engine, or the
+    engine version tag yields a different key, so stale artifacts are
+    orphaned, never reused — a mode-space table can never collide with a
+    real-space or semianalytic one.  The warm-start state is part of the
+    key: continuation moves converged midgaps within the bisection
+    tolerance, and a ``REPRO_NO_WARMSTART`` run must not silently reuse
+    (or poison) warm-started artifacts.
     """
-    return content_key("device-table", version, geometry,
+    engine = resolve_engine(engine)
+    if version is None:
+        version = engine_version(engine)
+    return content_key("device-table", version, engine, geometry,
                        np.asarray(vg_grid, float), np.asarray(vd_grid, float),
                        n_modes, warmstart_enabled())
 
@@ -386,6 +392,7 @@ def build_device_table(
     use_cache: bool = True,
     workers: int | None = None,
     strict: bool | None = None,
+    engine: str | None = None,
 ) -> DeviceTable:
     """Build (or fetch from cache) one ribbon's table.
 
@@ -404,10 +411,14 @@ def build_device_table(
     ``failures`` tuple; such a table is **not** written to either cache
     layer, so a later build retries the failed cells instead of reusing
     the holes.
+
+    ``engine`` selects the transport engine (see
+    :mod:`repro.device.engines`); it is part of both cache keys.
     """
     vg_grid = DEFAULT_VG_GRID if vg_grid is None else np.asarray(vg_grid, float)
     vd_grid = DEFAULT_VD_GRID if vd_grid is None else np.asarray(vd_grid, float)
-    key = (geometry, tuple(vg_grid), tuple(vd_grid), n_modes,
+    engine = resolve_engine(engine)
+    key = (geometry, tuple(vg_grid), tuple(vd_grid), n_modes, engine,
            warmstart_enabled())
     if use_cache and key in _TABLE_CACHE:
         if obs.ACTIVE:
@@ -415,7 +426,8 @@ def build_device_table(
         return _TABLE_CACHE[key]
 
     disk = _disk_cache() if use_cache else None
-    digest = table_cache_key(geometry, vg_grid, vd_grid, n_modes)
+    digest = table_cache_key(geometry, vg_grid, vd_grid, n_modes,
+                             engine=engine)
     table = None
     if disk is not None:
         payload = disk.get(digest)
@@ -431,11 +443,13 @@ def build_device_table(
             obs.incr("cache.table_builds")
         with obs.span("device.build_table", n_index=geometry.n_index):
             sweep = sweep_iv(geometry, vg_grid, vd_grid, n_modes=n_modes,
-                             workers=workers, strict=strict)
+                             workers=workers, strict=strict, engine=engine)
             label = f"N={geometry.n_index}"
             if geometry.impurity is not None and \
                     geometry.impurity.charge_e != 0.0:
                 label += f",imp={geometry.impurity.charge_e:+g}q"
+            if engine != DEFAULT_ENGINE:
+                label += f",engine={engine}"
             table = DeviceTable.from_sweep(sweep, label=label)
         if table.failures:
             # Quarantined holes must not outlive this process: caching a

@@ -44,15 +44,20 @@ class GNRFETTechnology:
     @classmethod
     def build(cls, geometry: GNRFETGeometry | None = None,
               params: CircuitParameters | None = None,
-              workers: int | None = None) -> "GNRFETTechnology":
+              workers: int | None = None,
+              engine: str | None = None) -> "GNRFETTechnology":
         """Simulate (or fetch cached) nominal device data.
 
         ``workers`` fans the table's bias sweep across processes when the
         table is not already cached (default from ``REPRO_WORKERS``).
+        ``engine`` picks the transport engine behind the table sweep
+        (argument > ``REPRO_ENGINE`` > ``semianalytic``); tables from
+        different engines are cached under different keys.
         """
         geometry = geometry or GNRFETGeometry()
         params = params or CircuitParameters()
-        table = build_device_table(geometry, workers=workers)
+        table = build_device_table(geometry, workers=workers,
+                                   engine=engine)
         vt0 = extract_vt_linear(table.vg, table.current_a[:, 1],
                                 vd=float(table.vd[1]))
         return cls(ribbon_table=table, vt0=vt0, params=params,

@@ -21,6 +21,9 @@ Environment knobs
 ``REPRO_NO_WARMSTART``
     Any non-empty value disables SCF warm-start continuation in every
     sweep driver (cold starts everywhere; see :mod:`repro.runtime.accel`).
+``REPRO_BACKEND``
+    Array backend for the hot NEGF kernels: ``numpy`` (default),
+    ``numba`` or ``cupy`` (see :mod:`repro.runtime.backend`).
 ``REPRO_STRICT``
     Truthy value flips every sweep back to raise-on-first-failure
     instead of quarantining failed cells (see
@@ -39,6 +42,15 @@ from repro.runtime.accel import (
     batched_trace,
     stacked_identity,
     warmstart_enabled,
+)
+from repro.runtime.backend import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    ArrayBackend,
+    BackendUnavailableError,
+    active_backend,
+    available_backends,
+    backend_name,
 )
 from repro.runtime.cache import (
     CACHE_DIR_ENV,
@@ -76,7 +88,11 @@ from repro.runtime.resilience import (
 )
 
 __all__ = [
+    "ArrayBackend",
     "ArtifactCache",
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "BackendUnavailableError",
     "CACHE_DIR_ENV",
     "CHECKPOINT_ENV",
     "FAULTS_ENV",
@@ -88,6 +104,9 @@ __all__ = [
     "SweepCheckpoint",
     "TABLE_ENGINE_VERSION",
     "WORKERS_ENV",
+    "active_backend",
+    "available_backends",
+    "backend_name",
     "batch_indices",
     "batched_inverse",
     "batched_trace",

@@ -1,0 +1,175 @@
+"""Numba-JIT'd NEGF inner loops (the ``numba`` array backend).
+
+Imported lazily by :mod:`repro.runtime.backend` only when
+``REPRO_BACKEND=numba`` and the numba package is installed — this module
+must never be imported on the default path.
+
+The kernels re-run the *identical* arithmetic of the inline numpy
+recurrences, per energy instead of stacked:
+
+* the same matrix products in the same association order (the batched
+  numpy kernels loop over the stack calling the same BLAS/LAPACK
+  routines one matrix at a time, so a per-energy loop issuing the same
+  calls reproduces them bit-for-bit);
+* the same convergence test at the same iteration (each energy exits
+  the decimation exactly where the active-set numpy kernel would have
+  finalized it);
+* the final reductions (lead broadening, transmission trace) run
+  *outside* the JIT through the very numpy expressions of
+  :mod:`repro.negf.greens`, so no reimplemented summation can drift.
+
+What the JIT buys is the glue: no stacked temporaries, per-energy early
+exit without masking machinery, and thread-parallel energies
+(``prange``) — each energy is independent, so threading cannot change
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+from repro.errors import ConvergenceError
+
+
+@njit(cache=True, parallel=True)
+def _sr_kernel(energies, h00, h01, h10, eta_ev, tol, max_iter):
+    """Per-energy Sancho-Rubio decimation; returns (g, ok, residual)."""
+    n_e = energies.shape[0]
+    n = h00.shape[0]
+    eye = np.eye(n).astype(np.complex128)
+    out = np.empty((n_e, n, n), dtype=np.complex128)
+    ok = np.zeros(n_e, dtype=np.bool_)
+    residual = np.zeros(n_e, dtype=np.float64)
+    for ie in prange(n_e):
+        z = (energies[ie] + 1j * eta_ev) * eye
+        eps_s = h00.copy()
+        eps = h00.copy()
+        alpha = h01.copy()
+        beta = h10.copy()
+        for _ in range(max_iter):
+            g_bulk = np.linalg.solve(z - eps, eye)
+            ag = alpha @ g_bulk
+            bg = beta @ g_bulk
+            agb = ag @ beta
+            bga = bg @ alpha
+            eps_s = eps_s + agb
+            eps = eps + agb + bga
+            alpha = ag @ alpha
+            beta = bg @ beta
+            a_res = np.max(np.abs(alpha))
+            b_res = np.max(np.abs(beta))
+            if a_res < tol and b_res < tol:
+                out[ie] = np.linalg.solve(z - eps_s, eye)
+                ok[ie] = True
+                break
+        if not ok[ie]:
+            residual[ie] = (np.max(np.abs(alpha)) + np.max(np.abs(beta)))
+    return out, ok, residual
+
+
+def sancho_rubio_batched(
+    energies_ev: np.ndarray,
+    h00: np.ndarray,
+    h01: np.ndarray,
+    eta_ev: float = 1e-6,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Drop-in fused replacement for the batched Sancho-Rubio kernel.
+
+    Same contract as
+    :func:`repro.negf.self_energy.sancho_rubio_surface_gf_batched`:
+    the ``(n_energy, n, n)`` surface-GF stack, or
+    :class:`~repro.errors.ConvergenceError` naming the slowest energy.
+    """
+    energies = np.atleast_1d(np.asarray(energies_ev, dtype=float))
+    h00c = np.ascontiguousarray(np.asarray(h00, dtype=complex))
+    h01c = np.ascontiguousarray(np.asarray(h01, dtype=complex))
+    h10c = np.ascontiguousarray(h01c.conj().T)
+    out, ok, residual = _sr_kernel(energies, h00c, h01c, h10c,
+                                   float(eta_ev), float(tol),
+                                   int(max_iter))
+    if not ok.all():
+        bad = np.flatnonzero(~ok)
+        worst = int(bad[np.argmax(residual[bad])])
+        raise ConvergenceError(
+            f"batched Sancho-Rubio iteration did not converge "
+            f"(slowest energy E = {energies[worst]} eV)",
+            iterations=int(max_iter),
+            context={"solver": "sancho_rubio_surface_gf_batched",
+                     "backend": "numba",
+                     "energy_ev": float(energies[worst]),
+                     "eta_ev": float(eta_ev), "tol": float(tol),
+                     "max_iter": int(max_iter),
+                     "n_unconverged": int(bad.size)})
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _rgf_g1n_kernel(energies, diag, coup, sigma_l, sigma_r, eta_ev):
+    """Forward RGF sweep per energy; returns the G_1N corner stack."""
+    n_e = energies.shape[0]
+    n_blocks = diag.shape[0]
+    b = diag.shape[1]
+    eye = np.eye(b).astype(np.complex128)
+    g_1n = np.empty((n_e, b, b), dtype=np.complex128)
+    for ie in prange(n_e):
+        z = (energies[ie] + 1j * eta_ev) * eye
+        m = z - diag[0] - sigma_l[ie]
+        if n_blocks == 1:
+            m = m - sigma_r[ie]
+            g_1n[ie] = np.linalg.solve(m, eye)
+        else:
+            t_0 = np.ascontiguousarray(coup[0])
+            x = np.linalg.solve(m, t_0)
+            prod = x
+            m = z - diag[1]
+            if n_blocks == 2:
+                m = m - sigma_r[ie]
+            m = m - np.ascontiguousarray(np.conj(t_0).T) @ x
+            for i in range(1, n_blocks - 1):
+                t_i = np.ascontiguousarray(coup[i])
+                x = np.linalg.solve(m, t_i)
+                m = z - diag[i + 1]
+                if i + 1 == n_blocks - 1:
+                    m = m - sigma_r[ie]
+                m = m - np.ascontiguousarray(np.conj(t_i).T) @ x
+                prod = np.ascontiguousarray(prod @ x)
+            # G_1N = P M^{-1} = solve(M^T, P^T)^T (plain transpose).
+            g_1n[ie] = np.linalg.solve(
+                np.ascontiguousarray(m.T),
+                np.ascontiguousarray(prod.T)).T
+    return g_1n
+
+
+def rgf_transmission_batched(
+    energies_ev: np.ndarray,
+    diag_stack: np.ndarray,
+    coup_stack: np.ndarray,
+    sigma_left: np.ndarray,
+    sigma_right: np.ndarray,
+    eta_ev: float = 1e-6,
+) -> np.ndarray:
+    """Fused RGF transmission over uniform block stacks.
+
+    ``diag_stack`` is ``(n_blocks, b, b)`` complex, ``coup_stack``
+    ``(n_blocks - 1, b, b)``; self-energies are per-energy stacks as in
+    :func:`repro.negf.greens.rgf_transmission_batched`.  The trace
+    reduction below is verbatim the inline kernel's numpy code.
+    """
+    energies = np.atleast_1d(np.asarray(energies_ev, dtype=float))
+    g_1n = _rgf_g1n_kernel(
+        energies,
+        np.ascontiguousarray(diag_stack),
+        np.ascontiguousarray(coup_stack),
+        np.ascontiguousarray(sigma_left),
+        np.ascontiguousarray(sigma_right),
+        float(eta_ev))
+    gamma_left = 1j * (sigma_left - np.conj(np.swapaxes(sigma_left, -2, -1)))
+    gamma_right = 1j * (sigma_right
+                        - np.conj(np.swapaxes(sigma_right, -2, -1)))
+    left_part = gamma_left @ g_1n
+    right_part = gamma_right @ np.conj(np.swapaxes(g_1n, -2, -1))
+    return np.real(np.sum(
+        left_part * np.swapaxes(right_part, -2, -1), axis=(-2, -1)))

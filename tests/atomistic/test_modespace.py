@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.atomistic.bandstructure import band_gap_ev, subband_edges
-from repro.atomistic.modespace import transverse_modes
+from repro.atomistic.hamiltonian import (
+    build_unit_cell_hamiltonian,
+    cached_unit_cell_hamiltonian,
+)
+from repro.atomistic.lattice import ArmchairGNR
+from repro.atomistic.modespace import transverse_mode_basis, transverse_modes
 from repro.constants import HBAR_SI, Q_E
 
 
@@ -83,3 +88,101 @@ class TestDispersionRelations:
         window = cond < mode.edge_ev + 0.3
         err = np.abs(model[window] - cond[window])
         assert err.max() < 0.05
+
+
+def _off_block_residual(basis, h):
+    """Largest matrix element of U^T H U outside the block diagonal."""
+    reduced = basis.vectors.T @ h @ basis.vectors
+    mask = np.zeros_like(reduced, dtype=bool)
+    start = 0
+    for size in basis.block_sizes:
+        mask[start:start + size, start:start + size] = True
+        start += size
+    return float(np.max(np.abs(reduced[~mask])))
+
+
+class TestTransverseModeBasis:
+    """Invariant-subspace basis behind the coupled mode-space engine."""
+
+    @pytest.mark.parametrize("n_index", [7, 12, 13, 18])
+    def test_orthonormal(self, n_index):
+        basis = transverse_mode_basis(n_index)
+        u = basis.vectors
+        assert u.shape == (2 * n_index, 2 * n_index)
+        assert np.max(np.abs(u.T @ u - np.eye(2 * n_index))) < 1e-12
+
+    @pytest.mark.parametrize("n_index", [7, 12, 13, 18])
+    def test_block_diagonalizes_uniform_lead(self, n_index):
+        """Both uniform-hopping blocks must be block-diagonal in the basis
+        (so the reduction is exact at every wave vector)."""
+        basis = transverse_mode_basis(n_index)
+        h00, h01 = build_unit_cell_hamiltonian(
+            ArmchairGNR(n_index), edge_relaxation=0.0)
+        assert _off_block_residual(basis, h00) < 1e-10
+        assert _off_block_residual(basis, h01) < 1e-10
+
+    @pytest.mark.parametrize("n_index", [7, 12, 13, 18])
+    def test_block_edges_match_subband_edges(self, n_index):
+        """Every block's conduction edge is a subband edge of the
+        uniform-hopping ribbon."""
+        basis = transverse_mode_basis(n_index)
+        edges_ref = np.asarray(
+            subband_edges(n_index, n_subbands=n_index, edge_relaxation=0.0),
+            dtype=float)
+        for edge in basis.block_edges_ev:
+            assert np.min(np.abs(edges_ref - edge)) < 1e-10
+
+    def test_blocks_sorted_by_edge(self):
+        basis = transverse_mode_basis(12)
+        edges = list(basis.block_edges_ev)
+        assert edges == sorted(edges)
+        assert basis.block_edges_ev[0] == pytest.approx(
+            band_gap_ev(12, edge_relaxation=0.0) / 2, abs=1e-10)
+
+    def test_odd_n_has_flat_band_blocks(self):
+        """Odd-N ribbons carry two size-1 flat-band blocks at +-t that
+        contribute zero subband pairs."""
+        basis = transverse_mode_basis(7)
+        assert basis.block_sizes == (4, 4, 4, 1, 1)
+        assert basis.subbands_per_block == (2, 2, 2, 0, 0)
+        assert sum(basis.block_sizes) == basis.n_orbitals == 14
+
+    def test_blocks_for_modes(self):
+        basis = transverse_mode_basis(12)
+        assert basis.subbands_per_block == (2, 2, 2, 2, 2, 2)
+        assert basis.blocks_for_modes(1) == 1
+        assert basis.blocks_for_modes(2) == 1
+        assert basis.blocks_for_modes(3) == 2
+        assert basis.blocks_for_modes(4) == 2
+        # More modes than exist: every block.
+        assert basis.blocks_for_modes(99) == basis.n_blocks
+        with pytest.raises(ValueError):
+            basis.blocks_for_modes(0)
+
+    def test_projector_shapes(self):
+        basis = transverse_mode_basis(12)
+        assert basis.projector(None).shape == (24, 24)
+        assert basis.projector(2).shape == (24, 4)
+        assert basis.projector(3).shape == (24, 8)
+        u = basis.projector(2)
+        assert np.max(np.abs(u.T @ u - np.eye(4))) < 1e-12
+
+    def test_cached_identity(self):
+        assert transverse_mode_basis(12) is transverse_mode_basis(12)
+        assert not transverse_mode_basis(12).vectors.flags.writeable
+
+
+class TestCachedUnitCellHamiltonian:
+    def test_matches_direct_build(self):
+        h00c, h01c = cached_unit_cell_hamiltonian(9)
+        h00, h01 = build_unit_cell_hamiltonian(ArmchairGNR(9))
+        np.testing.assert_array_equal(h00c, h00)
+        np.testing.assert_array_equal(h01c, h01)
+
+    def test_cached_and_read_only(self):
+        a = cached_unit_cell_hamiltonian(9)
+        b = cached_unit_cell_hamiltonian(9)
+        assert a[0] is b[0]
+        assert not a[0].flags.writeable
+        with pytest.raises(ValueError):
+            a[0][0, 0] = 1.0
