@@ -1,0 +1,82 @@
+"""Static-analysis runtime: the full-tree lint must stay CI-cheap.
+
+The dataflow families (RPA6xx-8xx) build a project-wide call graph and
+run reaching-definitions/taint fixpoints per key-computing function —
+quadratic-looking machinery that must nonetheless finish well inside a
+pre-commit hook's patience.  This bench pins three numbers:
+
+* **full tree** — one ``run_analysis`` pass over ``src/repro`` with
+  every rule family enabled, asserted under 30 seconds (it runs in
+  roughly one on the reference container; the bound is CI slack, not a
+  target);
+* **dataflow share** — the same pass restricted to RPA6xx-8xx, so call
+  graph + fixpoint cost is a tracked artifact of its own;
+* **call graph** — ``build_call_graph`` alone, the project-wide
+  substrate both dataflow families share.
+
+Timings land in the report; the hard assertion is only the 30 s wall
+bound the CI lint-dataflow job relies on.  ``REPRO_BENCH_SMOKE`` is
+accepted for symmetry with the other benches but changes nothing: the
+subject *is* the full tree.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis.dataflow import build_call_graph
+from repro.analysis.engine import (
+    Project,
+    discover_files,
+    load_module,
+    run_analysis,
+)
+from repro.reporting.tables import format_table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+#: Hard wall bound the CI lint-dataflow job depends on.
+FULL_TREE_BUDGET_S = 30.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_full_tree_lint_under_budget(save_report):
+    """One full-rule-set pass over src/repro stays under 30 s."""
+    report, full_s = _timed(lambda: run_analysis([SRC_TREE]))
+    assert report.clean, "bench requires a lint-clean tree"
+    assert report.n_files > 80, "tree unexpectedly small; wrong path?"
+
+    dataflow, dataflow_s = _timed(
+        lambda: run_analysis([SRC_TREE], select=["RPA6", "RPA7", "RPA8"]))
+    assert dataflow.clean
+
+    modules = []
+    for path in discover_files([SRC_TREE]):
+        module, err = load_module(path)
+        assert err is None
+        modules.append(module)
+    graph, graph_s = _timed(
+        lambda: build_call_graph(Project(modules=modules)))
+    assert len(graph.functions) > 400
+
+    assert full_s < FULL_TREE_BUDGET_S, (
+        f"full-tree lint took {full_s:.1f} s; the CI lint-dataflow job "
+        f"budgets {FULL_TREE_BUDGET_S:.0f} s")
+
+    rows = [
+        ("full tree (all families)", f"{full_s:.2f}",
+         f"{report.n_files}"),
+        ("dataflow families only", f"{dataflow_s:.2f}",
+         f"{dataflow.n_files}"),
+        ("call graph build", f"{graph_s:.2f}",
+         f"{len(graph.functions)} functions"),
+    ]
+    save_report("analysis_runtime", format_table(
+        ["pass", "seconds", "scope"], rows,
+        title="Static-analysis runtime (budget: "
+              f"{FULL_TREE_BUDGET_S:.0f} s full tree)"))

@@ -1,0 +1,334 @@
+"""RPA7xx — worker/parallel safety.
+
+``parallel_map`` ships callables to spawned processes: the callable is
+pickled by reference (so it must be importable at module level), runs
+in a fresh interpreter (so mutations of parent module state are
+silently lost), and shares the parent's observability configuration by
+environment re-export (so a worker toggling ``obs``/``faults``/
+``sanitize`` flags diverges from the parent run's manifest).  The
+determinism contract — bit-for-bit identical results at any worker
+count — quietly depends on all three properties.
+
+* ``RPA701`` — the callable handed to ``parallel_map`` is a lambda or
+  a nested function: not picklable by reference, fails at spawn time
+  on a cold path only exercised with ``workers > 1``.
+* ``RPA702`` — a worker function mutates module-level state
+  (``global`` rebinding, item/attribute stores, mutating method calls
+  on module names): the mutation happens in the child and never
+  reaches the parent, so results differ between serial and parallel
+  runs.
+* ``RPA703`` — a worker function toggles ``obs``/``faults``/
+  ``sanitize`` flags: the parent re-exports these through the
+  environment; a worker flipping them mid-run diverges from the
+  recorded configuration.
+
+Only the worker's *direct* body is checked for 702/703: a worker may
+legitimately call into caches that maintain per-process memoization
+(e.g. the device-table memory cache) — cross-process divergence there
+is handled by the content-addressed disk layer, which RPA6xx guards.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker, dotted_name
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.analysis.dataflow.cfg import build_cfg
+from repro.analysis.dataflow.defs import compute_reaching_definitions
+from repro.analysis.engine import ModuleInfo, Project
+from repro.analysis.findings import Finding
+
+PARALLEL_MAP = "repro.runtime.parallel.parallel_map"
+
+#: Mutating methods on built-in containers.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "setdefault", "add", "discard", "popitem", "appendleft", "sort",
+})
+
+#: Flag-toggling callables a worker must never invoke.
+_TOGGLES = frozenset({
+    "repro.obs.enable", "repro.obs.disable",
+    "repro.sanitize.enable", "repro.sanitize.disable",
+    "repro.runtime.faults.enable", "repro.runtime.faults.disable",
+})
+
+
+def _partial_target(call: ast.Call, graph: CallGraph,
+                    module: str) -> str | None:
+    """Resolved wrapped function of a ``partial(fn, ...)`` call."""
+    dotted = dotted_name(call.func)
+    if dotted not in ("partial", "functools.partial") or not call.args:
+        return None
+    wrapped = dotted_name(call.args[0])
+    if wrapped is None:
+        return None
+    return graph.resolve(module, wrapped)
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _store_root(target: ast.expr) -> str | None:
+    """Root name of an attribute/subscript store target."""
+    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+        return None
+    node: ast.expr = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _local_names(func: ast.AST) -> set[str]:
+    """Names bound anywhere inside the function (params included)."""
+    names: set[str] = set()
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+class WorkerSafetyChecker(Checker):
+    codes = {
+        "RPA701": "callable passed to parallel_map is not module-level "
+                  "importable (lambda or nested def does not pickle by "
+                  "reference)",
+        "RPA702": "worker function mutates module-level state; the "
+                  "mutation is lost in spawned processes, so serial "
+                  "and parallel runs diverge",
+        "RPA703": "worker function toggles obs/faults/sanitize flags, "
+                  "diverging from the parent run's recorded "
+                  "configuration",
+    }
+
+    def check_project(self, project: Project) -> list[Finding]:
+        graph = build_call_graph(project)
+        by_path = {m.path: m for m in project.modules}
+        findings: list[Finding] = []
+        workers: dict[str, FunctionInfo] = {}
+
+        for info in graph.functions.values():
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            for call in ast.walk(info.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                dotted = dotted_name(call.func)
+                if dotted is None or \
+                        graph.resolve(info.module, dotted) != PARALLEL_MAP:
+                    continue
+                if not call.args:
+                    continue
+                findings.extend(self._check_dispatch(
+                    module, info, graph, call, workers))
+
+        for worker in workers.values():
+            worker_module = by_path.get(worker.path)
+            if worker_module is None or \
+                    worker.module.startswith("repro.runtime"):
+                continue
+            findings.extend(self._check_purity(worker_module, worker,
+                                               graph))
+        return findings
+
+    # -------------------------------------------------------- RPA701 -- #
+    def _check_dispatch(self, module: ModuleInfo, info: FunctionInfo,
+                        graph: CallGraph, call: ast.Call,
+                        workers: dict[str, FunctionInfo]) -> list[Finding]:
+        fn_arg = call.args[0]
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(Finding(
+                path=module.path, line=node.lineno,
+                col=node.col_offset, code="RPA701",
+                message=f"{what} passed to parallel_map cannot be "
+                        "pickled by reference in spawned workers; "
+                        "promote it to a module-level function (or a "
+                        "functools.partial of one)",
+                symbol=info.qualname))
+
+        def record(qualname: str | None) -> None:
+            if qualname is not None:
+                worker = graph.function(qualname)
+                if worker is not None:
+                    workers[qualname] = worker
+
+        if isinstance(fn_arg, ast.Lambda):
+            flag(fn_arg, "lambda")
+            return findings
+        if isinstance(fn_arg, ast.Call):
+            target = _partial_target(fn_arg, graph, info.module)
+            if target is not None:
+                record(target)
+            elif _is_nested_partial(fn_arg, info.node):
+                flag(fn_arg, "partial of a nested function")
+            return findings
+        dotted = dotted_name(fn_arg)
+        if dotted is None:
+            return findings
+        resolved = graph.resolve(info.module, dotted)
+        if resolved is not None and "." not in dotted:
+            # Name shadowed by a local binding?  Follow reaching defs.
+            resolved = None if _locally_bound(info.node, dotted) \
+                else resolved
+        if resolved is not None:
+            record(resolved)
+            return findings
+        # A plain name bound locally: inspect its definitions.
+        if "." in dotted:
+            return findings
+        for value in _binding_values(info.node, dotted):
+            if isinstance(value, ast.Lambda):
+                flag(value, "lambda")
+            elif isinstance(value, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                flag(value, f"nested function '{value.name}'")
+            elif isinstance(value, ast.Call):
+                target = _partial_target(value, graph, info.module)
+                if target is not None:
+                    record(target)
+                elif _is_nested_partial(value, info.node):
+                    flag(value, "partial of a nested function")
+        return findings
+
+    # ----------------------------------------------------- RPA702/3 -- #
+    def _check_purity(self, module: ModuleInfo, worker: FunctionInfo,
+                      graph: CallGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        module_names = _module_level_names(module.tree)
+        local_names = _local_names(worker.node)
+        shadowed = module_names - local_names
+
+        for node in ast.walk(worker.node):
+            if isinstance(node, ast.Global):
+                findings.append(self.finding(
+                    module, node, "RPA702",
+                    f"worker '{worker.name}' rebinds module global(s) "
+                    f"{', '.join(node.names)}; the rebinding is lost "
+                    "in spawned processes",
+                    symbol=worker.qualname))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    root = _store_root(target)
+                    if root is not None and root in shadowed:
+                        findings.append(self.finding(
+                            module, node, "RPA702",
+                            f"worker '{worker.name}' stores into "
+                            f"module-level '{root}'; spawned processes "
+                            "never propagate this back to the parent",
+                            symbol=worker.qualname))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, worker, graph,
+                                                 node, shadowed))
+        return findings
+
+    def _check_call(self, module: ModuleInfo, worker: FunctionInfo,
+                    graph: CallGraph, node: ast.Call,
+                    shadowed: set[str]) -> list[Finding]:
+        findings: list[Finding] = []
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in shadowed:
+            findings.append(self.finding(
+                module, node, "RPA702",
+                f"worker '{worker.name}' calls mutating "
+                f"'.{func.attr}()' on module-level "
+                f"'{func.value.id}'; the mutation stays in the child "
+                "process",
+                symbol=worker.qualname))
+        dotted = dotted_name(func)
+        if dotted is not None:
+            resolved = graph.resolve(worker.module, dotted)
+            if resolved in _TOGGLES:
+                findings.append(self.finding(
+                    module, node, "RPA703",
+                    f"worker '{worker.name}' calls '{dotted}()'; "
+                    "obs/faults/sanitize state must be configured by "
+                    "the parent (it is re-exported to workers through "
+                    "the environment), never toggled per-worker",
+                    symbol=worker.qualname))
+        return findings
+
+
+def _locally_bound(func: ast.AST, name: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and name == node.id and \
+                isinstance(node.ctx, ast.Store):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func and node.name == name:
+            return True
+    return False
+
+
+def _binding_values(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                    name: str) -> list[ast.AST]:
+    """Every value expression (or def) bound to ``name`` inside
+    ``func``, found through the CFG's definition sites."""
+    cfg = build_cfg(func)
+    rd = compute_reaching_definitions(cfg)
+    values: list[ast.AST] = []
+    for node in cfg.nodes:
+        for definition in rd.defs_at(node.index):
+            if definition.name != name or node.stmt is None:
+                continue
+            stmt = node.stmt
+            if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == name
+                    for t in stmt.targets):
+                values.append(stmt.value)
+            elif isinstance(stmt, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)) and \
+                    stmt.name == name:
+                values.append(stmt)
+    return values
+
+
+def _is_nested_partial(call: ast.Call, func: ast.AST) -> bool:
+    """Is ``partial(f, ...)`` wrapping a function nested in ``func``?"""
+    dotted = dotted_name(call.func)
+    if dotted not in ("partial", "functools.partial") or not call.args:
+        return False
+    wrapped = dotted_name(call.args[0])
+    if wrapped is None:
+        return isinstance(call.args[0], ast.Lambda)
+    return _locally_bound(func, wrapped.split(".")[0])

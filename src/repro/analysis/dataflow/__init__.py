@@ -1,0 +1,58 @@
+"""Dataflow layer of the static analysis engine.
+
+Layer: inside :mod:`repro.analysis` (cross-cutting tooling; imports only
+``errors``).  Responsibility: the *semantic* substrate the RPA6xx-8xx
+rule families stand on — everything the per-line AST pattern matchers of
+RPA1xx-5xx cannot see:
+
+* :mod:`repro.analysis.dataflow.cfg` — intraprocedural control-flow
+  graphs at statement granularity (branches, loops, try/except);
+* :mod:`repro.analysis.dataflow.defs` — reaching definitions and
+  use-def chains over a CFG;
+* :mod:`repro.analysis.dataflow.callgraph` — project-wide symbol table
+  and best-effort call graph (module-level functions, methods,
+  ``functools.partial`` dispatch, locally constructed instances), plus
+  per-function ``REPRO_*`` environment-read tracking;
+* :mod:`repro.analysis.dataflow.queries` — taint-style reachability
+  queries ("does parameter ``p`` flow into this call's arguments?")
+  used by the cache-key soundness checker.
+
+Everything here is conservative in the direction that keeps the lint
+*quiet* rather than noisy: an unresolvable call edge or an opaque
+expression widens the may-flow relation, so a parameter that reaches a
+cache key through any syntactic path is accepted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.analysis.dataflow.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.dataflow.defs import (
+    Definition,
+    ReachingDefinitions,
+    compute_reaching_definitions,
+)
+from repro.analysis.dataflow.queries import (
+    call_results_flowing_into,
+    names_in,
+    param_flows_into,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "CallGraph",
+    "Definition",
+    "FunctionInfo",
+    "ReachingDefinitions",
+    "build_call_graph",
+    "build_cfg",
+    "call_results_flowing_into",
+    "compute_reaching_definitions",
+    "names_in",
+    "param_flows_into",
+]

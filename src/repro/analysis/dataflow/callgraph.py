@@ -1,0 +1,354 @@
+"""Project-wide symbol table and best-effort call graph.
+
+Builds on the same import extraction philosophy as the RPA3xx layering
+checker, but at *function* granularity: every module-level function and
+every direct method of a module-level class becomes a node, and call
+expressions resolve to edges through a per-module import table.  Three
+dispatch idioms beyond plain calls are resolved because this codebase
+leans on them:
+
+* ``functools.partial(fn, ...)`` — the wrapped callable gets a call
+  edge from the function constructing the partial (that is how workers
+  are shipped to ``parallel_map``);
+* ``self.method(...)`` inside a method body resolves within the class;
+* ``obj = SomeClass(...)`` followed by ``obj.method(...)`` in the same
+  function resolves to ``SomeClass.method`` (locally constructed
+  instances — the checkpoint/cache helpers are used this way).
+
+On top of the edges, each function records which ``REPRO_*``
+environment variables its body reads — directly via
+``os.environ.get``/``os.getenv``/``os.environ[...]`` with a literal or
+a resolvable module-level ``*_ENV`` constant — and the graph exposes
+the transitive closure of those reads, which is what the RPA602
+cache-key checker consumes.
+
+Unresolvable calls simply produce no edge: the analysis is best-effort
+by design and every consumer treats a missing edge as "no evidence",
+never as proof of absence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ModuleInfo, Project
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One module-level function or class method in the project."""
+
+    qualname: str          #: ``repro.device.tables.build_device_table``
+    module: str            #: dotted module name
+    name: str              #: plain name; ``Class.method`` for methods
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    class_name: str | None = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class CallGraph:
+    """Call edges, env reads and symbol tables over one project."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: caller qualname -> callee qualnames (may-call).
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: function qualname -> env var names its body reads directly.
+    env_reads: dict[str, set[str]] = field(default_factory=dict)
+    #: module -> local alias -> dotted target.
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: class qualname -> method names.
+    classes: dict[str, set[str]] = field(default_factory=dict)
+    #: module -> constant name -> string value (``*_ENV`` style).
+    constants: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def function(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+    def callees(self, qualname: str) -> frozenset[str]:
+        return frozenset(self.edges.get(qualname, ()))
+
+    def transitive_callees(self, qualname: str) -> frozenset[str]:
+        """Every function reachable from ``qualname`` (excluded itself
+        unless it participates in a cycle)."""
+        reached: set[str] = set()
+        stack = list(self.edges.get(qualname, ()))
+        while stack:
+            callee = stack.pop()
+            if callee in reached:
+                continue
+            reached.add(callee)
+            stack.extend(self.edges.get(callee, ()))
+        return frozenset(reached)
+
+    def transitive_env_reads(self, qualname: str) -> frozenset[str]:
+        """Env vars read by ``qualname`` or anything it may call."""
+        reads = set(self.env_reads.get(qualname, ()))
+        for callee in self.transitive_callees(qualname):
+            reads |= self.env_reads.get(callee, set())
+        return frozenset(reads)
+
+    def resolve(self, module: str, dotted: str) -> str | None:
+        """Resolve a (possibly dotted) callable name used inside
+        ``module`` to a known function qualname, or ``None``."""
+        for candidate in self._candidates(module, dotted):
+            chased = self._chase(candidate, self.functions)
+            if chased is not None:
+                return chased
+        return None
+
+    def resolve_class(self, module: str, dotted: str) -> str | None:
+        """Resolve a name used inside ``module`` to a known class."""
+        for candidate in self._candidates(module, dotted):
+            chased = self._chase(candidate, self.classes)
+            if chased is not None:
+                return chased
+        return None
+
+    def resolve_constant(self, module: str, name: str) -> str | None:
+        """Resolve a module-level string constant (possibly imported)."""
+        local = self.constants.get(module, {})
+        if name in local:
+            return local[name]
+        target = self.imports.get(module, {}).get(name)
+        for _ in range(4):
+            if target is None:
+                return None
+            src_module, _, const = target.rpartition(".")
+            if const in self.constants.get(src_module, {}):
+                return self.constants[src_module][const]
+            target = self.imports.get(src_module, {}).get(const)
+        return None
+
+    def _candidates(self, module: str, dotted: str) -> list[str]:
+        candidates = [f"{module}.{dotted}", dotted]
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(module, {}).get(head)
+        if target is not None:
+            candidates.insert(0, f"{target}.{rest}" if rest else target)
+        return candidates
+
+    def _chase(self, candidate: str, table: dict[str, object],
+               depth: int = 0) -> str | None:
+        """Follow facade re-exports: ``repro.runtime.content_key`` ->
+        ``repro.runtime.cache.content_key`` (the ``__init__`` facades
+        re-import their submodules' public API)."""
+        if candidate in table:
+            return candidate
+        if depth >= 4:
+            return None
+        module, _, name = candidate.rpartition(".")
+        target = self.imports.get(module, {}).get(name)
+        if target is None or target == candidate:
+            return None
+        return self._chase(target, table, depth + 1)
+
+
+# ---------------------------------------------------------------------- #
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Local alias -> dotted target for every import in ``tree``."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    table[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds ``a``; attribute chains
+                    # are rebuilt against the top-level package.
+                    head = alias.name.split(".")[0]
+                    table.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                table[bound] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _string_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments."""
+    consts: dict[str, str] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not isinstance(value, ast.Constant) or \
+                not isinstance(value.value, str):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                consts[target.id] = value.value
+    return consts
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _env_var_name(arg: ast.expr, graph: CallGraph, module: str
+                  ) -> str | None:
+    """Literal or constant-resolved environment variable name."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.Name):
+        return graph.resolve_constant(module, arg.id)
+    return None
+
+
+_ENV_GET_SUFFIXES = ("os.environ.get", "environ.get", "os.getenv",
+                     "getenv")
+_ENV_SUBSCRIPT_SUFFIXES = ("os.environ", "environ")
+
+
+def _collect_env_reads(func: ast.AST, graph: CallGraph,
+                       module: str) -> set[str]:
+    reads: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in _ENV_GET_SUFFIXES and node.args:
+                name = _env_var_name(node.args[0], graph, module)
+                if name is not None:
+                    reads.add(name)
+        elif isinstance(node, ast.Subscript) and \
+                isinstance(node.ctx, ast.Load):
+            dotted = _dotted(node.value)
+            if dotted in _ENV_SUBSCRIPT_SUFFIXES:
+                name = _env_var_name(node.slice, graph, module)
+                if name is not None:
+                    reads.add(name)
+    return reads
+
+
+def _local_instance_classes(func: ast.AST, graph: CallGraph,
+                            module: str) -> dict[str, str]:
+    """Map local variable -> class qualname for ``var = Cls(...)``."""
+    instances: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or \
+                not isinstance(node.value, ast.Call):
+            continue
+        dotted = _dotted(node.value.func)
+        if dotted is None:
+            continue
+        cls = graph.resolve_class(module, dotted)
+        if cls is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                instances[target.id] = cls
+    return instances
+
+
+def _is_partial(dotted: str | None, graph: CallGraph, module: str) -> bool:
+    if dotted is None:
+        return False
+    if dotted in ("functools.partial", "partial"):
+        target = graph.imports.get(module, {}).get(dotted.split(".")[0])
+        return dotted == "functools.partial" or \
+            target in ("functools.partial", "functools")
+    return False
+
+
+def _collect_edges(info: FunctionInfo, graph: CallGraph) -> set[str]:
+    module = info.module
+    callees: set[str] = set()
+    instances = _local_instance_classes(info.node, graph, module)
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        # partial(fn, ...) dispatches to fn eventually.
+        if _is_partial(dotted, graph, module) and node.args:
+            wrapped = _dotted(node.args[0])
+            if wrapped is not None:
+                target = graph.resolve(module, wrapped)
+                if target is not None:
+                    callees.add(target)
+            continue
+        head, _, rest = dotted.partition(".")
+        # self.method() within a class.
+        if head == "self" and rest and info.class_name is not None:
+            candidate = f"{module}.{info.class_name}.{rest}"
+            if candidate in graph.functions:
+                callees.add(candidate)
+                continue
+        # Locally constructed instance: var = Cls(...); var.method().
+        if head in instances and rest:
+            candidate = f"{instances[head]}.{rest}"
+            if candidate in graph.functions:
+                callees.add(candidate)
+                continue
+        target = graph.resolve(module, dotted)
+        if target is not None:
+            callees.add(target)
+            continue
+        # Constructor call: edge to Cls.__init__ if defined.
+        cls = graph.resolve_class(module, dotted)
+        if cls is not None and f"{cls}.__init__" in graph.functions:
+            callees.add(f"{cls}.__init__")
+    return callees
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Build the symbol table and call graph for ``project``."""
+    graph = CallGraph()
+    repro_modules = [m for m in project.modules
+                     if m.module_name is not None]
+
+    for module in repro_modules:
+        name = module.module_name
+        assert name is not None
+        graph.imports[name] = _import_table(module.tree)
+        graph.constants[name] = _string_constants(module.tree)
+        _register_module(graph, module)
+
+    for info in graph.functions.values():
+        graph.env_reads[info.qualname] = _collect_env_reads(
+            info.node, graph, info.module)
+    for info in graph.functions.values():
+        graph.edges[info.qualname] = _collect_edges(info, graph)
+    return graph
+
+
+def _register_module(graph: CallGraph, module: ModuleInfo) -> None:
+    name = module.module_name
+    assert name is not None
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{name}.{stmt.name}"
+            graph.functions[qualname] = FunctionInfo(
+                qualname=qualname, module=name, name=stmt.name,
+                node=stmt, path=module.path)
+        elif isinstance(stmt, ast.ClassDef):
+            cls_qual = f"{name}.{stmt.name}"
+            graph.classes[cls_qual] = set()
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    method_qual = f"{cls_qual}.{item.name}"
+                    graph.classes[cls_qual].add(item.name)
+                    graph.functions[method_qual] = FunctionInfo(
+                        qualname=method_qual, module=name,
+                        name=f"{stmt.name}.{item.name}", node=item,
+                        path=module.path, class_name=stmt.name)

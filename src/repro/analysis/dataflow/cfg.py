@@ -1,0 +1,225 @@
+"""Intraprocedural control-flow graphs at statement granularity.
+
+One :class:`CFGNode` per simple statement plus one per compound-statement
+*header* (the ``if``/``while`` test, the ``for`` target/iterator, the
+``with`` items, the ``try`` marker): fine enough for reaching
+definitions, coarse enough that functions of this codebase build in
+microseconds.  Synthetic ``entry`` and ``exit`` nodes bracket the graph;
+function parameters are treated as definitions at ``entry``.
+
+Approximations (all conservative for a *may*-reach analysis):
+
+* every statement inside a ``try`` body may transfer to every handler
+  (an exception can interrupt anywhere);
+* ``finally`` bodies are chained after both the normal and the handled
+  frontiers;
+* nested function/class definitions are single statements (their bodies
+  belong to their own CFGs);
+* ``break``/``continue`` edges target the innermost enclosing loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CFGNode:
+    """One control-flow node: a statement header plus its graph edges.
+
+    ``stmt`` is ``None`` for the synthetic ``entry``/``exit`` nodes.
+    ``header_exprs`` holds the expressions evaluated *at* this node (the
+    ``if`` test, the ``for`` iterator, an assignment's value...) so the
+    defs/uses extraction never descends into a compound statement's
+    body, which has nodes of its own.
+    """
+
+    index: int
+    stmt: ast.AST | None
+    kind: str
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    header_exprs: tuple[ast.expr, ...] = ()
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: list[CFGNode]
+    entry: int
+    exit: int
+
+    def successors(self, index: int) -> list[int]:
+        return self.nodes[index].succs
+
+    def predecessors(self, index: int) -> list[int]:
+        return self.nodes[index].preds
+
+    def statement_nodes(self) -> list[CFGNode]:
+        """Every non-synthetic node, in creation (source) order."""
+        return [n for n in self.nodes if n.stmt is not None]
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        # (break_targets, continue_targets) collectors per loop depth.
+        self._loops: list[tuple[list[int], list[int]]] = []
+
+    def _new(self, stmt: ast.AST | None, kind: str,
+             header_exprs: tuple[ast.expr, ...] = ()) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, kind=kind,
+                       header_exprs=header_exprs)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    def _link(self, frontier: list[int], dst: int) -> None:
+        for src in frontier:
+            self._edge(src, dst)
+
+    def build(self) -> CFG:
+        frontier = self._body(self.func.body, [self.entry])
+        self._link(frontier, self.exit)
+        return CFG(func=self.func, nodes=self.nodes, entry=self.entry,
+                   exit=self.exit)
+
+    # ------------------------------------------------------------------ #
+    def _body(self, stmts: list[ast.stmt],
+              frontier: list[int]) -> list[int]:
+        for stmt in stmts:
+            if not frontier:
+                # Unreachable code still gets nodes (a checker may want
+                # to look at it) but no incoming edges.
+                pass
+            frontier = self._statement(stmt, frontier)
+        return frontier
+
+    def _statement(self, stmt: ast.stmt,
+                   frontier: list[int]) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            exprs = tuple(item.context_expr for item in stmt.items)
+            node = self._new(stmt, "with", exprs)
+            self._link(frontier, node)
+            return self._body(stmt.body, [node])
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            exprs = ()
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                exprs = (stmt.value,)
+            elif isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                exprs = (stmt.exc,)
+            node = self._new(stmt, "terminator", exprs)
+            self._link(frontier, node)
+            self._edge(node, self.exit)
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self._new(stmt, "jump")
+            self._link(frontier, node)
+            if self._loops:
+                breaks, continues = self._loops[-1]
+                (breaks if isinstance(stmt, ast.Break)
+                 else continues).append(node)
+            return []
+        # Simple statement (assignments, expressions, imports, nested
+        # defs, global/nonlocal, assert, delete, pass...).
+        node = self._new(stmt, "stmt", self._simple_exprs(stmt))
+        self._link(frontier, node)
+        return [node]
+
+    @staticmethod
+    def _simple_exprs(stmt: ast.stmt) -> tuple[ast.expr, ...]:
+        if isinstance(stmt, ast.Assign):
+            return (stmt.value,)
+        if isinstance(stmt, ast.AugAssign):
+            return (stmt.value, stmt.target)
+        if isinstance(stmt, ast.AnnAssign):
+            return (stmt.value,) if stmt.value is not None else ()
+        if isinstance(stmt, ast.Expr):
+            return (stmt.value,)
+        if isinstance(stmt, ast.Assert):
+            return ((stmt.test, stmt.msg) if stmt.msg is not None
+                    else (stmt.test,))
+        if isinstance(stmt, ast.Delete):
+            return tuple(stmt.targets)
+        return ()
+
+    def _if(self, stmt: ast.If, frontier: list[int]) -> list[int]:
+        test = self._new(stmt, "if", (stmt.test,))
+        self._link(frontier, test)
+        then_frontier = self._body(stmt.body, [test])
+        if stmt.orelse:
+            else_frontier = self._body(stmt.orelse, [test])
+        else:
+            else_frontier = [test]
+        return then_frontier + else_frontier
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor,
+              frontier: list[int]) -> list[int]:
+        if isinstance(stmt, ast.While):
+            header = self._new(stmt, "while", (stmt.test,))
+        else:
+            header = self._new(stmt, "for", (stmt.iter,))
+        self._link(frontier, header)
+        self._loops.append(([], []))
+        body_frontier = self._body(stmt.body, [header])
+        breaks, continues = self._loops.pop()
+        self._link(body_frontier, header)       # back edge
+        self._link(continues, header)
+        exit_frontier = [header] + breaks
+        if stmt.orelse:
+            exit_frontier = self._body(stmt.orelse, [header]) + breaks
+        return exit_frontier
+
+    def _try(self, stmt: ast.Try, frontier: list[int]) -> list[int]:
+        marker = self._new(stmt, "try")
+        self._link(frontier, marker)
+        first_body = len(self.nodes)
+        body_frontier = self._body(stmt.body, [marker])
+        body_nodes = list(range(first_body, len(self.nodes)))
+        out = list(body_frontier)
+        for handler in stmt.handlers:
+            head = self._new(handler, "except",
+                             (handler.type,) if handler.type else ())
+            # An exception can surface after any statement of the try
+            # body (and before the first one).
+            self._edge(marker, head)
+            for idx in body_nodes:
+                self._edge(idx, head)
+            out.extend(self._body(handler.body, [head]))
+        if stmt.orelse:
+            normal = self._body(stmt.orelse, body_frontier)
+            out = [n for n in out if n not in body_frontier] + normal
+        if stmt.finalbody:
+            out = self._body(stmt.finalbody, out)
+        return out
+
+    def _match(self, stmt: ast.Match, frontier: list[int]) -> list[int]:
+        subject = self._new(stmt, "match", (stmt.subject,))
+        self._link(frontier, subject)
+        out: list[int] = [subject]  # no case may match
+        for case in stmt.cases:
+            out.extend(self._body(case.body, [subject]))
+        return out
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function definition."""
+    return _Builder(func).build()

@@ -1,0 +1,199 @@
+"""Reaching definitions and use-def chains over a statement-level CFG.
+
+A *definition* is one binding of a name at one CFG node: an assignment
+target, a ``for`` target, a ``with ... as`` name, an ``except ... as``
+name, a walrus, an import alias, a nested ``def``/``class``, or a
+function parameter (defined at the synthetic entry node).  The classic
+forward may-analysis then answers, per node, which definitions of each
+name can reach it — the substrate for the taint queries in
+:mod:`repro.analysis.dataflow.queries`.
+
+Attribute and subscript stores (``obj.attr = x``, ``table[k] = x``) do
+not bind a name; they are collected separately as *mutations* with the
+root name of the stored-into chain, which is what the worker-purity
+checker (RPA702) needs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.dataflow.cfg import CFG
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of ``name`` at CFG node ``node``."""
+
+    name: str
+    node: int
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    """Names bound by an assignment/for/with target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    # Attribute / Subscript stores bind no name (they mutate).
+
+
+def _mutation_roots(target: ast.expr) -> Iterable[str]:
+    """Root names of attribute/subscript store targets."""
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        root = target.value
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if isinstance(root, ast.Name):
+            yield root.id
+    elif isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+        inner = target.elts if isinstance(target, (ast.Tuple, ast.List)) \
+            else [target.value]
+        for element in inner:
+            yield from _mutation_roots(element)
+
+
+def _walk_expr(expr: ast.expr) -> Iterable[ast.AST]:
+    """Walk an expression without descending into lambdas/comprehension
+    bodies' nested function scopes (lambdas introduce their own scope;
+    comprehensions are treated as part of the enclosing scope, matching
+    their read behavior for everything but the comprehension targets)."""
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def node_defs(cfg: CFG, index: int) -> list[str]:
+    """Names defined at CFG node ``index``."""
+    node = cfg.nodes[index]
+    stmt = node.stmt
+    names: list[str] = []
+    if node.kind == "entry":
+        args = cfg.func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            names.append(arg.arg)
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return names
+    if stmt is None:
+        return names
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.extend(_target_names(target))
+    elif isinstance(stmt, ast.AnnAssign):
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, ast.AugAssign):
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.append(stmt.name)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            names.append(bound)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        names.append(stmt.name)
+    # Walrus targets anywhere in the header expressions.
+    for expr in node.header_exprs:
+        if expr is None:
+            continue
+        for sub in _walk_expr(expr):
+            if isinstance(sub, ast.NamedExpr):
+                names.extend(_target_names(sub.target))
+    return names
+
+
+def node_uses(cfg: CFG, index: int) -> list[str]:
+    """Names read at CFG node ``index`` (header expressions only)."""
+    node = cfg.nodes[index]
+    used: list[str] = []
+    for expr in node.header_exprs:
+        if expr is None:
+            continue
+        for sub in _walk_expr(expr):
+            if isinstance(sub, ast.Name) and \
+                    isinstance(sub.ctx, ast.Load):
+                used.append(sub.id)
+    stmt = node.stmt
+    # Mutation targets read their root object.
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            used.extend(_mutation_roots(target))
+    return used
+
+
+class ReachingDefinitions:
+    """Result of the reaching-definitions analysis over one CFG."""
+
+    def __init__(self, cfg: CFG, reach_in: list[set[Definition]],
+                 gen: list[set[Definition]]):
+        self.cfg = cfg
+        self._in = reach_in
+        self._gen = gen
+
+    def reaching(self, index: int) -> frozenset[Definition]:
+        """Definitions that may reach the *start* of node ``index``."""
+        return frozenset(self._in[index])
+
+    def reaching_for(self, index: int, name: str) -> frozenset[Definition]:
+        """Definitions of ``name`` that may reach node ``index``."""
+        return frozenset(d for d in self._in[index] if d.name == name)
+
+    def defs_at(self, index: int) -> frozenset[Definition]:
+        """Definitions generated by node ``index`` itself."""
+        return frozenset(self._gen[index])
+
+    def use_def_chain(self, index: int) -> dict[str, frozenset[Definition]]:
+        """For each name used at node ``index``, its reaching defs."""
+        return {name: self.reaching_for(index, name)
+                for name in set(node_uses(self.cfg, index))}
+
+
+def compute_reaching_definitions(cfg: CFG) -> ReachingDefinitions:
+    """Classic forward may-analysis worklist over ``cfg``."""
+    n = len(cfg.nodes)
+    gen: list[set[Definition]] = [set() for _ in range(n)]
+    kill_names: list[set[str]] = [set() for _ in range(n)]
+    for i in range(n):
+        names = node_defs(cfg, i)
+        gen[i] = {Definition(name=name, node=i) for name in set(names)}
+        kill_names[i] = set(names)
+
+    reach_in: list[set[Definition]] = [set() for _ in range(n)]
+    reach_out: list[set[Definition]] = [
+        set(gen[i]) for i in range(n)]
+    work = list(range(n))
+    while work:
+        i = work.pop(0)
+        new_in: set[Definition] = set()
+        for p in cfg.nodes[i].preds:
+            new_in |= reach_out[p]
+        new_out = gen[i] | {d for d in new_in
+                            if d.name not in kill_names[i]}
+        if new_in != reach_in[i] or new_out != reach_out[i]:
+            reach_in[i] = new_in
+            reach_out[i] = new_out
+            for s in cfg.nodes[i].succs:
+                if s not in work:
+                    work.append(s)
+    return ReachingDefinitions(cfg, reach_in, gen)

@@ -8,7 +8,12 @@ the ``RPA<family><rule>`` scheme:
 * ``RPA1xx`` — determinism (RNG and wall-clock hygiene);
 * ``RPA2xx`` — units (raw physical-constant literals);
 * ``RPA3xx`` — layering (package dependency DAG);
-* ``RPA4xx`` — API contracts (annotations, defaults, frozen results).
+* ``RPA4xx`` — API contracts (annotations, defaults, frozen results);
+* ``RPA5xx`` — resilience (exception-handling discipline);
+* ``RPA6xx`` — cache/checkpoint key soundness (dataflow);
+* ``RPA7xx`` — worker/parallel safety (dataflow);
+* ``RPA8xx`` — hot-path hygiene (guarded obs records, batched kernels,
+  loop allocations).
 """
 
 from __future__ import annotations

@@ -43,6 +43,7 @@ from repro.errors import ConvergenceError, ParallelMapError
 from repro.runtime import (
     FailureRecord,
     SweepCheckpoint,
+    backend_name,
     checkpoint_interval,
     content_key,
     in_worker,
@@ -228,10 +229,10 @@ def sweep_iv(
     vg_grid: np.ndarray,
     vd_grid: np.ndarray,
     n_modes: int | None = None,
-    workers: int | None = None,
-    strict: bool | None = None,
-    checkpoint: int | None = None,
-    resume: bool | None = None,
+    workers: int | None = None,  # repro: nokey[RPA601] parallelism degree; serial and parallel sweeps are bit-identical
+    strict: bool | None = None,  # repro: nokey[RPA601] failure policy: strict raises, non-strict quarantines; finished rows agree
+    checkpoint: int | None = None,  # repro: nokey[RPA601] checkpoint cadence only; saved rows are engine output either way
+    resume: bool | None = None,  # repro: nokey[RPA601] whether to load the checkpoint this key names, not what it holds
     engine: str | None = None,
 ) -> IVSweep:
     """Run the selected transport engine over a (V_G, V_D) grid.
@@ -276,7 +277,7 @@ def sweep_iv(
     ckpt: SweepCheckpoint | None = None
     if interval > 0 or resume:
         key = content_key("sweep_iv", geometry, vg_grid, vd_grid, n_modes,
-                          engine, engine_version(engine),
+                          engine, engine_version(engine), backend_name(),
                           warmstart_enabled())
         ckpt = SweepCheckpoint(key, interval=interval)
         if resume:

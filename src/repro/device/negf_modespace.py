@@ -209,7 +209,9 @@ negf_realspace.longitudinal_onsite`).  A transversely *non-uniform*
         """Transmission over an energy grid (batched kernels by default)."""
         energies_ev = np.asarray(energies_ev, dtype=float)
         if not batched or energies_ev.size == 0:
-            trans = np.array([self.transmission_at(float(e), eta_ev)
+            # Legacy reference path the batched kernels are validated
+            # against; kept per-energy by design.
+            trans = np.array([self.transmission_at(float(e), eta_ev)  # repro: noqa[RPA802]
                               for e in energies_ev])
             return RealSpaceTransport(energies_ev=energies_ev,
                                       transmission=trans)

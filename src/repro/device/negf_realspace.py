@@ -185,7 +185,9 @@ class RealSpaceGNRDevice:
         """
         energies_ev = np.asarray(energies_ev, dtype=float)
         if not batched or energies_ev.size == 0:
-            trans = np.array([self.transmission_at(float(e), eta_ev)
+            # Legacy reference path the batched kernels are validated
+            # against; kept per-energy by design.
+            trans = np.array([self.transmission_at(float(e), eta_ev)  # repro: noqa[RPA802]
                               for e in energies_ev])
             return RealSpaceTransport(energies_ev=energies_ev,
                                       transmission=trans)

@@ -175,8 +175,11 @@ def sancho_rubio_surface_gf_batched(
 
     out = np.empty((n_e, n, n), dtype=complex)
     idx = np.arange(n_e)  # original positions of the active members
+    # Hoisted identity stack: the active set only shrinks, so a view of
+    # the first idx.size (or conv.sum()) members serves every solve.
+    ident = stacked_identity(n_e, n)
     for _ in range(max_iter):
-        g_bulk = np.linalg.solve(z - eps, stacked_identity(idx.size, n))
+        g_bulk = np.linalg.solve(z - eps, ident[:idx.size])
         # Cache alpha @ g and beta @ g: the four decimation products all
         # left-associate through them, so this reproduces the scalar
         # kernel's arithmetic exactly while dropping two matmuls per step.
@@ -192,8 +195,7 @@ def sancho_rubio_surface_gf_batched(
                 & (np.max(np.abs(beta), axis=(-2, -1)) < tol))
         if conv.any():
             out[idx[conv]] = np.linalg.solve(
-                z[conv] - eps_s[conv],
-                stacked_identity(int(conv.sum()), n))
+                z[conv] - eps_s[conv], ident[:int(conv.sum())])
             if conv.all():
                 return out
             keep = ~conv

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro import obs
 from repro.circuit.ring_oscillator import simulate_ring_oscillator
+from repro.device.engines import engine_version, resolve_engine
 from repro.device.tables import DeviceTable
 from repro.errors import ConvergenceError, ParallelMapError
 from repro.exploration.technology import GNRFETTechnology
@@ -50,6 +51,7 @@ from repro.runtime import (
     TABLE_ENGINE_VERSION,
     FailureRecord,
     SweepCheckpoint,
+    backend_name,
     batch_indices,
     checkpoint_interval,
     content_key,
@@ -61,6 +63,7 @@ from repro.runtime import (
     resume_enabled,
     spawn_seed_sequences,
     strict_default,
+    warmstart_enabled,
 )
 from repro.runtime import faults
 from repro.variability.sampling import discretized_normal_choice
@@ -325,11 +328,11 @@ def run_ring_oscillator_monte_carlo(
     charge_levels: tuple[float, float, float] = (-1.0, 0.0, 1.0),
     seed: int = 2008,
     granularity: str = "ribbon",
-    calibrate_against_transient: bool = False,
-    workers: int | None = None,
-    strict: bool | None = None,
-    checkpoint: int | None = None,
-    resume: bool | None = None,
+    calibrate_against_transient: bool = False,  # repro: nokey[RPA601] rescales raw checkpointed frequencies at return time
+    workers: int | None = None,  # repro: nokey[RPA601] parallelism degree; per-sample spawned RNG streams are worker-count independent
+    strict: bool | None = None,  # repro: nokey[RPA601] failure policy only; surviving samples agree either way
+    checkpoint: int | None = None,  # repro: nokey[RPA601] snapshot cadence only, not sample content
+    resume: bool | None = None,  # repro: nokey[RPA601] whether to load the checkpoint this key names, not what it holds
 ) -> MonteCarloResult:
     """Fig. 6: sample width/impurity variations of every inverter.
 
@@ -404,10 +407,19 @@ def run_ring_oscillator_monte_carlo(
 
     ckpt: SweepCheckpoint | None = None
     if interval > 0 or resume:
+        # The samples are functions of the variant device tables, so
+        # everything that selects a table variant — the resolved
+        # transport engine (REPRO_ENGINE), its version, the array
+        # backend and the warm-start state — must be in the key, or a
+        # checkpoint written under one engine could resume under
+        # another.
+        engine = resolve_engine(None)
         key = content_key("monte_carlo", tech.geometry, tech.params,
                           n_samples, vdd, vt, n_stages,
                           tuple(width_levels), tuple(charge_levels), seed,
-                          granularity, TABLE_ENGINE_VERSION)
+                          granularity, TABLE_ENGINE_VERSION, engine,
+                          engine_version(engine), backend_name(),
+                          warmstart_enabled())
         ckpt = SweepCheckpoint(key, interval=interval)
         if resume:
             loaded = ckpt.load()

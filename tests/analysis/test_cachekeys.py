@@ -1,0 +1,276 @@
+"""Tests of the RPA6xx cache-key soundness family.
+
+Every seeded project carries stub ``repro.runtime`` modules so the
+checker resolves ``content_key``/``SweepCheckpoint`` through the same
+facade re-export chain the real tree uses.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import Project, load_module, run_analysis
+
+
+_RUNTIME_STUBS = {
+    "src/repro/runtime/cache.py": """\
+        def content_key(*parts):
+            return "digest"
+    """,
+    "src/repro/runtime/resilience.py": """\
+        class SweepCheckpoint:
+            def __init__(self, key, interval=0):
+                self.key = key
+    """,
+    "src/repro/runtime/accel.py": """\
+        import os
+
+        def warmstart_enabled():
+            return os.environ.get("REPRO_NO_WARMSTART") is None
+    """,
+    "src/repro/runtime/__init__.py": """\
+        from repro.runtime.accel import warmstart_enabled
+        from repro.runtime.cache import content_key
+        from repro.runtime.resilience import SweepCheckpoint
+    """,
+}
+
+
+def _run(tmp_path, files: dict[str, str]):
+    paths = []
+    for rel, source in {**_RUNTIME_STUBS, **files}.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    return run_analysis(paths, select=["RPA6"])
+
+
+class TestRPA601:
+    def test_param_missing_from_key_fires(self, tmp_path):
+        # Seeded regression: a table_cache_key clone with the engine
+        # dropped from the hash must be caught.
+        report = _run(tmp_path, {"src/repro/device/tablecopy.py": """\
+            from repro.runtime import content_key, warmstart_enabled
+
+            def table_cache_key(geometry, vg_grid, vd_grid, n_modes,
+                                engine=None):
+                return content_key("device-table", geometry, vg_grid,
+                                   vd_grid, n_modes, warmstart_enabled())
+        """})
+        assert [f.code for f in report.findings] == ["RPA601"]
+        (finding,) = report.findings
+        assert "'engine'" in finding.message
+        assert finding.line == 4  # the parameter's own line
+
+    def test_all_params_keyed_is_clean(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/tablecopy.py": """\
+            from repro.runtime import content_key
+
+            def table_cache_key(geometry, n_modes, engine):
+                return content_key("device-table", geometry, n_modes,
+                                   engine)
+        """})
+        assert report.clean
+
+    def test_conditional_rebinding_counts_as_flow(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/tablecopy.py": """\
+            from repro.runtime import content_key
+
+            def resolve_engine(engine):
+                return engine or "semianalytic"
+
+            def table_cache_key(geometry, engine=None):
+                if engine is None:
+                    engine = resolve_engine(engine)
+                return content_key("device-table", geometry, engine)
+        """})
+        assert report.clean
+
+    def test_nokey_annotation_suppresses(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/tablecopy.py": """\
+            from repro.runtime import content_key
+
+            def build(
+                geometry,
+                workers=None,  # repro: nokey[RPA601] parallelism degree, results are order-independent
+            ):
+                return content_key("build", geometry)
+        """})
+        assert report.clean
+        assert report.n_nokey_suppressed == 1
+
+    def test_nokey_without_reason_does_not_suppress(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/tablecopy.py": """\
+            from repro.runtime import content_key
+
+            def build(
+                geometry,
+                workers=None,  # repro: nokey[RPA601]
+            ):
+                return content_key("build", geometry)
+        """})
+        assert [f.code for f in report.findings] == ["RPA601"]
+        assert report.n_nokey_suppressed == 0
+
+    def test_nokey_rejects_non_rpa6_codes(self, tmp_path):
+        # nokey is a cache-key design statement, not a general escape
+        # hatch: naming another family suppresses nothing.
+        report = _run(tmp_path, {"src/repro/device/tablecopy.py": """\
+            from repro.runtime import content_key
+
+            def build(
+                geometry,
+                workers=None,  # repro: nokey[RPA701] wrong family
+            ):
+                return content_key("build", geometry)
+        """})
+        assert [f.code for f in report.findings] == ["RPA601"]
+
+    def test_underscore_params_are_exempt(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/tablecopy.py": """\
+            from repro.runtime import content_key
+
+            def build(geometry, _scratch=None):
+                return content_key("build", geometry)
+        """})
+        assert report.clean
+
+
+class TestRPA602:
+    def test_uncovered_env_read_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/enginey.py": """\
+            import os
+
+            from repro.runtime import content_key
+
+            def resolve_engine():
+                return os.environ.get("REPRO_ENGINE", "semianalytic")
+
+            def build(geometry):
+                key = content_key("build", geometry)
+                engine = resolve_engine()
+                return key, engine
+        """})
+        codes = [f.code for f in report.findings]
+        assert "RPA602" in codes
+        finding = next(f for f in report.findings if f.code == "RPA602")
+        assert "REPRO_ENGINE" in finding.message
+
+    def test_threading_resolved_value_covers(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/enginey.py": """\
+            import os
+
+            from repro.runtime import content_key
+
+            def resolve_engine():
+                return os.environ.get("REPRO_ENGINE", "semianalytic")
+
+            def build(geometry):
+                engine = resolve_engine()
+                key = content_key("build", geometry, engine)
+                return key, engine
+        """})
+        assert report.clean
+
+    def test_result_neutral_env_not_required(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/worky.py": """\
+            import os
+
+            from repro.runtime import content_key
+
+            def resolve_workers():
+                return int(os.environ.get("REPRO_WORKERS", "1"))
+
+            def build(geometry):
+                n = resolve_workers()
+                return content_key("build", geometry), n
+        """})
+        assert report.clean
+
+    def test_key_builder_covers_its_own_reads(self, tmp_path):
+        # Calling a builder that itself hashes warmstart_enabled()
+        # covers REPRO_NO_WARMSTART at the call site.
+        report = _run(tmp_path, {"src/repro/device/warm.py": """\
+            from repro.runtime import content_key, warmstart_enabled
+
+            def make_key(geometry):
+                return content_key("w", geometry, warmstart_enabled())
+
+            def build(geometry):
+                ws = warmstart_enabled()
+                key = make_key(geometry)
+                return key, ws
+        """})
+        assert report.clean
+
+
+class TestRPA603:
+    def test_ad_hoc_key_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/storey.py": """\
+            def store_all(cache, items):
+                for i, item in enumerate(items):
+                    cache.put(f"item-{i}", item)
+        """})
+        assert [f.code for f in report.findings] == ["RPA603"]
+
+    def test_content_key_derived_is_clean(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/storey.py": """\
+            from repro.runtime import content_key
+
+            def store(cache, geometry, item):
+                cache.put(content_key("item", geometry), item)
+        """})
+        # The seed deliberately leaves 'cache'/'item' out of the hash,
+        # which RPA601 flags; the provenance rule itself must be quiet.
+        assert not [f for f in report.findings if f.code == "RPA603"]
+
+    def test_local_binding_of_content_key_is_clean(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/storey.py": """\
+            from repro.runtime import content_key, SweepCheckpoint
+
+            def checkpointed(geometry):
+                key = content_key("sweep", geometry)
+                return SweepCheckpoint(key, interval=4)
+        """})
+        assert report.clean
+
+    def test_parameter_key_is_callers_responsibility(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/storey.py": """\
+            def store(cache, key, item):
+                cache.put(key, item)
+        """})
+        assert report.clean
+
+    def test_checkpoint_with_ad_hoc_key_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/storey.py": """\
+            from repro.runtime import SweepCheckpoint
+
+            def checkpointed(run_index):
+                return SweepCheckpoint(f"run-{run_index}", interval=4)
+        """})
+        assert [f.code for f in report.findings] == ["RPA603"]
+
+
+class TestExemptions:
+    def test_runtime_itself_is_exempt(self, tmp_path):
+        # repro.runtime implements the mechanism; its internals are not
+        # key-computing consumers.
+        paths = []
+        for rel, source in _RUNTIME_STUBS.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            paths.append(path)
+        report = run_analysis(paths, select=["RPA6"])
+        assert report.clean
+
+    def test_methods_skip_self(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/clsy.py": """\
+            from repro.runtime import content_key
+
+            class Table:
+                def key(self, geometry):
+                    return content_key("t", geometry)
+        """})
+        assert report.clean

@@ -1,0 +1,410 @@
+"""Tests of the dataflow layer: CFG, reaching defs, call graph, taint."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    Definition,
+    build_call_graph,
+    build_cfg,
+    call_results_flowing_into,
+    compute_reaching_definitions,
+    names_in,
+    param_flows_into,
+)
+from repro.analysis.engine import Project, load_module
+
+
+def _func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return func
+
+
+def _project(tmp_path, files: dict[str, str]) -> Project:
+    modules = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        module, err = load_module(path)
+        assert err is None, err
+        modules.append(module)
+    return Project(modules=modules)
+
+
+class TestCFG:
+    def test_if_else_branches_join(self):
+        cfg = build_cfg(_func("""\
+            def f(a):
+                if a:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """))
+        if_node = next(n for n in cfg.nodes if n.kind == "if")
+        # The test node branches into both arms.
+        assert len(if_node.succs) == 2
+        ret = next(n for n in cfg.nodes if n.kind == "terminator")
+        # Both assignment nodes re-join at the return.
+        assert len(ret.preds) == 2
+        assert cfg.exit in ret.succs
+
+    def test_if_without_else_falls_through(self):
+        cfg = build_cfg(_func("""\
+            def f(a):
+                if a:
+                    x = 1
+                return a
+        """))
+        ret = next(n for n in cfg.nodes if n.kind == "terminator")
+        # Predecessors: the assignment and the if test itself.
+        assert len(ret.preds) == 2
+
+    def test_while_loop_back_edge(self):
+        cfg = build_cfg(_func("""\
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+        """))
+        header = next(n for n in cfg.nodes if n.kind == "while")
+        body = next(n for n in cfg.nodes
+                    if n.kind == "stmt" and isinstance(n.stmt, ast.Assign)
+                    and n.index > header.index)
+        assert header.index in body.succs       # back edge
+        assert body.index in header.succs       # loop entry
+
+    def test_break_exits_loop(self):
+        cfg = build_cfg(_func("""\
+            def f(items):
+                for x in items:
+                    if x:
+                        break
+                return 0
+        """))
+        jump = next(n for n in cfg.nodes if n.kind == "jump")
+        ret = next(n for n in cfg.nodes if n.kind == "terminator")
+        assert ret.index in jump.succs
+
+    def test_try_body_edges_into_every_handler(self):
+        cfg = build_cfg(_func("""\
+            def f():
+                try:
+                    a = 1
+                    b = 2
+                except ValueError:
+                    c = 3
+                except KeyError:
+                    d = 4
+                return 0
+        """))
+        handlers = [n for n in cfg.nodes if n.kind == "except"]
+        assert len(handlers) == 2
+        body_nodes = [n for n in cfg.nodes
+                      if n.kind == "stmt" and isinstance(n.stmt, ast.Assign)
+                      and ast.unparse(n.stmt.targets[0]) in ("a", "b")]
+        for handler in handlers:
+            for body in body_nodes:
+                assert handler.index in body.succs
+
+    def test_return_reaches_exit_only(self):
+        cfg = build_cfg(_func("""\
+            def f():
+                return 1
+                x = 2
+        """))
+        ret = next(n for n in cfg.nodes if n.kind == "terminator")
+        assert ret.succs == [cfg.exit]
+        # The unreachable statement has a node but no incoming edges.
+        dead = next(n for n in cfg.nodes
+                    if n.kind == "stmt" and isinstance(n.stmt, ast.Assign))
+        assert dead.preds == []
+
+
+class TestReachingDefinitions:
+    def test_branch_defs_both_reach_join(self):
+        func = _func("""\
+            def f(a):
+                if a:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """)
+        cfg = build_cfg(func)
+        rd = compute_reaching_definitions(cfg)
+        ret = next(n for n in cfg.nodes if n.kind == "terminator")
+        defs = rd.reaching_for(ret.index, "x")
+        assert len(defs) == 2
+
+    def test_redefinition_kills_previous(self):
+        func = _func("""\
+            def f():
+                x = 1
+                x = 2
+                return x
+        """)
+        cfg = build_cfg(func)
+        rd = compute_reaching_definitions(cfg)
+        ret = next(n for n in cfg.nodes if n.kind == "terminator")
+        defs = rd.reaching_for(ret.index, "x")
+        assert len(defs) == 1
+        second = next(n for n in cfg.nodes
+                      if n.kind == "stmt" and n.index == max(
+                          m.index for m in cfg.nodes if m.kind == "stmt"))
+        assert defs == frozenset({Definition(name="x", node=second.index)})
+
+    def test_loop_carried_definition_reaches_header(self):
+        func = _func("""\
+            def f(items):
+                total = 0
+                for i in items:
+                    total = total + i
+                return total
+        """)
+        cfg = build_cfg(func)
+        rd = compute_reaching_definitions(cfg)
+        header = next(n for n in cfg.nodes if n.kind == "for")
+        # Both the initialization and the loop-body rebinding reach the
+        # loop header (the back edge carries the second one around).
+        assert len(rd.reaching_for(header.index, "total")) == 2
+
+    def test_parameters_defined_at_entry(self):
+        func = _func("""\
+            def f(a, b, *args, c=1, **kw):
+                return a
+        """)
+        cfg = build_cfg(func)
+        rd = compute_reaching_definitions(cfg)
+        entry_defs = {d.name for d in rd.defs_at(cfg.entry)}
+        assert entry_defs == {"a", "b", "args", "c", "kw"}
+
+    def test_use_def_chain_at_return(self):
+        func = _func("""\
+            def f(a):
+                x = a
+                return x
+        """)
+        cfg = build_cfg(func)
+        rd = compute_reaching_definitions(cfg)
+        ret = next(n for n in cfg.nodes if n.kind == "terminator")
+        chain = rd.use_def_chain(ret.index)
+        assert set(chain) == {"x"}
+        (definition,) = chain["x"]
+        assert cfg.nodes[definition.node].kind == "stmt"
+
+    def test_except_name_is_a_definition(self):
+        func = _func("""\
+            def f():
+                try:
+                    x = 1
+                except ValueError as exc:
+                    return exc
+                return x
+        """)
+        cfg = build_cfg(func)
+        rd = compute_reaching_definitions(cfg)
+        handler_ret = next(
+            n for n in cfg.nodes if n.kind == "terminator"
+            and isinstance(n.stmt, ast.Return)
+            and isinstance(n.stmt.value, ast.Name)
+            and n.stmt.value.id == "exc")
+        assert rd.reaching_for(handler_ret.index, "exc")
+
+
+class TestCallGraph:
+    def test_cross_module_edge(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/pkg/helpers.py": """\
+                def helper():
+                    return 1
+            """,
+            "src/repro/pkg/caller.py": """\
+                from repro.pkg.helpers import helper
+
+                def run():
+                    return helper()
+            """,
+        })
+        graph = build_call_graph(project)
+        assert "repro.pkg.helpers.helper" in \
+            graph.callees("repro.pkg.caller.run")
+
+    def test_facade_reexport_is_chased(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/pkg/impl.py": """\
+                def thing():
+                    return 1
+            """,
+            "src/repro/pkg/__init__.py": """\
+                from repro.pkg.impl import thing
+            """,
+            "src/repro/other/user.py": """\
+                from repro.pkg import thing
+
+                def run():
+                    return thing()
+            """,
+        })
+        graph = build_call_graph(project)
+        assert "repro.pkg.impl.thing" in \
+            graph.callees("repro.other.user.run")
+
+    def test_partial_dispatch_edge(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/pkg/work.py": """\
+                from functools import partial
+
+                def worker(a, x):
+                    return a + x
+
+                def run(items):
+                    fn = partial(worker, 2)
+                    return [fn(x) for x in items]
+            """,
+        })
+        graph = build_call_graph(project)
+        assert "repro.pkg.work.worker" in \
+            graph.callees("repro.pkg.work.run")
+
+    def test_local_instance_method_edge(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/pkg/cachey.py": """\
+                class Store:
+                    def put(self, key):
+                        return key
+
+                def run():
+                    store = Store()
+                    return store.put("k")
+            """,
+        })
+        graph = build_call_graph(project)
+        assert "repro.pkg.cachey.Store.put" in \
+            graph.callees("repro.pkg.cachey.run")
+
+    def test_env_reads_direct_and_via_constant(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/pkg/envy.py": """\
+                import os
+
+                THING_ENV = "REPRO_THING"
+
+                def direct():
+                    return os.environ.get("REPRO_DIRECT")
+
+                def via_constant():
+                    return os.getenv(THING_ENV)
+            """,
+        })
+        graph = build_call_graph(project)
+        assert graph.env_reads["repro.pkg.envy.direct"] == {"REPRO_DIRECT"}
+        assert graph.env_reads["repro.pkg.envy.via_constant"] == \
+            {"REPRO_THING"}
+
+    def test_transitive_env_reads_cross_module(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/pkg/deep.py": """\
+                import os
+
+                def leaf():
+                    return os.environ.get("REPRO_DEEP")
+            """,
+            "src/repro/pkg/top.py": """\
+                from repro.pkg.deep import leaf
+
+                def entry():
+                    return leaf()
+            """,
+        })
+        graph = build_call_graph(project)
+        assert "REPRO_DEEP" in \
+            graph.transitive_env_reads("repro.pkg.top.entry")
+        # Direct reads of the top function itself stay empty.
+        assert graph.env_reads["repro.pkg.top.entry"] == set()
+
+
+class TestTaintQueries:
+    def _sink(self, func: ast.FunctionDef, name: str) -> ast.Call:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == name:
+                return node
+        raise AssertionError(f"no call to {name}")
+
+    def test_param_flows_directly(self):
+        func = _func("""\
+            def f(geometry):
+                return content_key("t", geometry)
+        """)
+        sink = self._sink(func, "content_key")
+        assert param_flows_into(func, "geometry", sink)
+
+    def test_param_flows_through_conditional_rebinding(self):
+        func = _func("""\
+            def f(engine=None):
+                if engine is None:
+                    engine = resolve_engine(None)
+                return content_key("t", engine)
+        """)
+        sink = self._sink(func, "content_key")
+        assert param_flows_into(func, "engine", sink)
+
+    def test_param_does_not_flow(self):
+        func = _func("""\
+            def f(geometry, workers):
+                pool = make_pool(workers)
+                return content_key("t", geometry)
+        """)
+        sink = self._sink(func, "content_key")
+        assert param_flows_into(func, "geometry", sink)
+        assert not param_flows_into(func, "workers", sink)
+
+    def test_call_result_flows_through_binding(self):
+        func = _func("""\
+            def f(geometry):
+                ws = warmstart_enabled()
+                return content_key("t", geometry, ws)
+        """)
+        sink = self._sink(func, "content_key")
+
+        def resolve(dotted: str) -> str | None:
+            return dotted if dotted == "warmstart_enabled" else None
+
+        assert call_results_flowing_into(func, sink, resolve) == \
+            frozenset({"warmstart_enabled"})
+
+    def test_call_result_direct_in_args(self):
+        func = _func("""\
+            def f(geometry):
+                return content_key("t", geometry, warmstart_enabled())
+        """)
+        sink = self._sink(func, "content_key")
+        got = call_results_flowing_into(
+            func, sink,
+            lambda d: d if d == "warmstart_enabled" else None)
+        assert got == frozenset({"warmstart_enabled"})
+
+    def test_unrelated_call_does_not_reach(self):
+        func = _func("""\
+            def f(geometry):
+                ws = warmstart_enabled()
+                log(ws)
+                return content_key("t", geometry)
+        """)
+        sink = self._sink(func, "content_key")
+        got = call_results_flowing_into(
+            func, sink,
+            lambda d: d if d == "warmstart_enabled" else None)
+        assert got == frozenset()
+
+    def test_names_in_collects_load_names(self):
+        expr = ast.parse("a + b.c + f(d)", mode="eval").body
+        assert names_in(expr) == {"a", "b", "f", "d"}

@@ -1,0 +1,210 @@
+"""Tests of the RPA7xx worker/parallel safety family."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import run_analysis
+
+
+_RUNTIME_STUBS = {
+    "src/repro/runtime/parallel.py": """\
+        def parallel_map(fn, items, workers=None):
+            return [fn(item) for item in items]
+    """,
+    "src/repro/runtime/__init__.py": """\
+        from repro.runtime.parallel import parallel_map
+    """,
+    "src/repro/obs/__init__.py": """\
+        ACTIVE = False
+
+        def enable():
+            return None
+
+        def disable():
+            return None
+    """,
+}
+
+
+def _run(tmp_path, files: dict[str, str]):
+    paths = []
+    for rel, source in {**_RUNTIME_STUBS, **files}.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    return run_analysis(paths, select=["RPA7"])
+
+
+class TestRPA701:
+    def test_lambda_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro.runtime import parallel_map
+
+            def run(items):
+                return parallel_map(lambda x: x + 1, items)
+        """})
+        assert [f.code for f in report.findings] == ["RPA701"]
+        assert "lambda" in report.findings[0].message
+
+    def test_locally_bound_lambda_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro.runtime import parallel_map
+
+            def run(items):
+                fn = lambda x: x + 1
+                return parallel_map(fn, items)
+        """})
+        assert [f.code for f in report.findings] == ["RPA701"]
+
+    def test_nested_function_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro.runtime import parallel_map
+
+            def run(items):
+                def fn(x):
+                    return x + 1
+                return parallel_map(fn, items)
+        """})
+        assert [f.code for f in report.findings] == ["RPA701"]
+        assert "nested function" in report.findings[0].message
+
+    def test_partial_of_nested_function_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from functools import partial
+
+            from repro.runtime import parallel_map
+
+            def run(items, bias):
+                def fn(b, x):
+                    return x + b
+                return parallel_map(partial(fn, bias), items)
+        """})
+        assert [f.code for f in report.findings] == ["RPA701"]
+
+    def test_module_level_worker_is_clean(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from functools import partial
+
+            from repro.runtime import parallel_map
+
+            def work(bias, x):
+                return x + bias
+
+            def run(items, bias):
+                return parallel_map(partial(work, bias), items)
+        """})
+        assert report.clean
+
+
+class TestRPA702:
+    def test_global_statement_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro.runtime import parallel_map
+
+            _COUNT = 0
+
+            def work(x):
+                global _COUNT
+                _COUNT = _COUNT + 1
+                return x
+
+            def run(items):
+                return parallel_map(work, items)
+        """})
+        assert "RPA702" in [f.code for f in report.findings]
+
+    def test_subscript_store_into_module_dict_fires(self, tmp_path):
+        # Seeded regression: a memoizing worker writing a module-level
+        # dict silently loses the write in spawned processes.
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro.runtime import parallel_map
+
+            _CACHE = {}
+
+            def work(x):
+                _CACHE[x] = x * 2
+                return _CACHE[x]
+
+            def run(items):
+                return parallel_map(work, items)
+        """})
+        codes = [f.code for f in report.findings]
+        assert codes == ["RPA702"]
+        assert "_CACHE" in report.findings[0].message
+
+    def test_mutating_method_on_module_list_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro.runtime import parallel_map
+
+            _SEEN = []
+
+            def work(x):
+                _SEEN.append(x)
+                return x
+
+            def run(items):
+                return parallel_map(work, items)
+        """})
+        assert [f.code for f in report.findings] == ["RPA702"]
+
+    def test_local_shadowing_is_clean(self, tmp_path):
+        # A local binding of the same name is not module state.
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro.runtime import parallel_map
+
+            _CACHE = {}
+
+            def work(x):
+                _CACHE = {}
+                _CACHE[x] = x * 2
+                return _CACHE[x]
+
+            def run(items):
+                return parallel_map(work, items)
+        """})
+        assert report.clean
+
+    def test_non_worker_function_not_checked(self, tmp_path):
+        # The same mutation outside a parallel_map worker is the
+        # per-process memoization idiom and stays legal.
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            _CACHE = {}
+
+            def memoized(x):
+                _CACHE[x] = x * 2
+                return _CACHE[x]
+        """})
+        assert report.clean
+
+
+class TestRPA703:
+    def test_worker_toggling_obs_fires(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro import obs
+            from repro.runtime import parallel_map
+
+            def work(x):
+                obs.disable()
+                return x
+
+            def run(items):
+                return parallel_map(work, items)
+        """})
+        assert [f.code for f in report.findings] == ["RPA703"]
+        assert "obs.disable" in report.findings[0].message
+
+    def test_parent_toggle_outside_worker_is_clean(self, tmp_path):
+        report = _run(tmp_path, {"src/repro/device/runner.py": """\
+            from repro import obs
+            from repro.runtime import parallel_map
+
+            def work(x):
+                return x
+
+            def run(items):
+                obs.enable()
+                return parallel_map(work, items)
+        """})
+        assert report.clean
