@@ -1,0 +1,155 @@
+"""Characterization harness overhead, measured.
+
+The golden-regression gate (``repro characterize``) wraps every
+experiment runner in load/diff/render machinery; this bench pins down
+what that machinery costs on its own and end to end, persisted to
+``BENCH_characterize.json`` at the repository root:
+
+* **Golden load + diff** — load every committed golden under
+  ``goldens/`` and diff a full 14-experiment measurement set against
+  it.  This is the pure harness overhead a characterization run pays
+  on top of the physics; the measured set is the goldens' own fast
+  block, so every diff must come back ``pass``.
+* **Docs rendering** — ``render_all`` produces the 14 generated pages
+  plus the index from the committed goldens.  Rendering is required to
+  be deterministic (two passes bitwise equal) because CI diffs the
+  committed pages against regeneration.
+* **End-to-end fast check** — ``characterize`` on the smoke subset
+  (fig2 + table1, reduced grids), recording wall time, per-experiment
+  runner time, and the residual harness overhead between them.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the repeat counts and the
+end-to-end subset and relaxes the timing assertions to sanity bounds;
+it never rewrites the committed ``BENCH_characterize.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.characterize.diffing import diff_experiment
+from repro.characterize.goldens import load_goldens
+from repro.characterize.markdown import render_all
+from repro.characterize.runner import characterize
+from repro.characterize.specs import SPECS
+from repro.reporting.tables import format_table
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_characterize.json"
+GOLDEN_ROOT = ROOT / "goldens"
+
+DIFF_REPEATS = 20 if SMOKE else 200
+RENDER_REPEATS = 5 if SMOKE else 50
+E2E_IDS = ["fig2"] if SMOKE else ["fig2", "table1"]
+
+
+def _bench_load_and_diff() -> dict:
+    """Full golden load plus a 14-experiment diff pass, best-of-N."""
+    goldens = load_goldens(root=GOLDEN_ROOT)
+    assert set(goldens) == set(SPECS)
+    measured = {eid: dict(goldens[eid]["modes"]["fast"])
+                for eid in SPECS}
+
+    best_load = best_diff = float("inf")
+    n_metrics = 0
+    for _ in range(DIFF_REPEATS):
+        start = time.perf_counter()
+        fresh = load_goldens(root=GOLDEN_ROOT)
+        best_load = min(best_load, time.perf_counter() - start)
+        start = time.perf_counter()
+        diffs = {
+            eid: diff_experiment(SPECS[eid], measured[eid],
+                                 fresh.get(eid), "fast")
+            for eid in SPECS
+        }
+        best_diff = min(best_diff, time.perf_counter() - start)
+        assert all(diff.ok for diff in diffs.values())
+        n_metrics = sum(len(diff.metrics) for diff in diffs.values())
+
+    return {
+        "experiments": len(SPECS),
+        "metrics": n_metrics,
+        "load_all_ms": best_load * 1e3,
+        "diff_all_ms": best_diff * 1e3,
+        "diff_per_metric_us": best_diff / n_metrics * 1e6,
+    }
+
+
+def _bench_render() -> dict:
+    """Render every generated page from the committed goldens."""
+    first = render_all(golden_root=GOLDEN_ROOT)
+    best = float("inf")
+    for _ in range(RENDER_REPEATS):
+        start = time.perf_counter()
+        pages = render_all(golden_root=GOLDEN_ROOT)
+        best = min(best, time.perf_counter() - start)
+        assert pages == first  # determinism backs the CI drift check
+    total_bytes = sum(len(text.encode("utf-8")) for text in first.values())
+    return {
+        "pages": len(first),
+        "total_bytes": total_bytes,
+        "render_all_ms": best * 1e3,
+        "render_per_page_ms": best / len(first) * 1e3,
+    }
+
+
+def _bench_end_to_end() -> dict:
+    """A real fast-mode check on the smoke subset, overhead isolated."""
+    run = characterize(list(E2E_IDS), fast=True, golden_root=GOLDEN_ROOT)
+    assert run.ok, f"drift in {run.failing_ids()}"
+    runner_s = sum(run.timings_s.values())
+    return {
+        "ids": list(E2E_IDS),
+        "mode": run.mode,
+        "wall_s": run.wall_s,
+        "runner_s": runner_s,
+        "harness_overhead_ms": (run.wall_s - runner_s) * 1e3,
+        "timings_s": {eid: run.timings_s[eid] for eid in E2E_IDS},
+    }
+
+
+def test_characterize_harness(save_report):
+    diffing = _bench_load_and_diff()
+    rendering = _bench_render()
+    end_to_end = _bench_end_to_end()
+
+    rows = [
+        [f"golden load ({diffing['experiments']} files)",
+         f"{diffing['load_all_ms']:.2f} ms", ""],
+        [f"diff pass ({diffing['metrics']} metrics)",
+         f"{diffing['diff_all_ms']:.3f} ms",
+         f"{diffing['diff_per_metric_us']:.1f} us/metric"],
+        [f"docs render ({rendering['pages']} pages)",
+         f"{rendering['render_all_ms']:.2f} ms",
+         f"{rendering['render_per_page_ms']:.2f} ms/page"],
+        [f"end-to-end fast check ({','.join(end_to_end['ids'])})",
+         f"{end_to_end['wall_s']:.2f} s",
+         f"overhead {end_to_end['harness_overhead_ms']:.1f} ms"],
+    ]
+    report = format_table(
+        ["path", "time", "detail"], rows,
+        title="Characterization harness overhead (best of repeated runs)")
+    save_report("characterize_harness", report)
+    print(report)
+
+    # The harness must stay negligible next to the physics: a full
+    # load+diff+render cycle is bounded in absolute terms (loose enough
+    # for slow shared runners), and the end-to-end overhead — wall time
+    # minus runner time — stays under a second.
+    assert diffing["load_all_ms"] + diffing["diff_all_ms"] < 500.0
+    assert rendering["render_all_ms"] < 1000.0
+    assert end_to_end["harness_overhead_ms"] < 1000.0
+
+    if SMOKE:
+        return
+
+    payload = {
+        "schema": "repro-bench-characterize/1",
+        "load_and_diff": diffing,
+        "rendering": rendering,
+        "end_to_end": end_to_end,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")

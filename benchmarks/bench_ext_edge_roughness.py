@@ -12,8 +12,7 @@ p_z basis (roughness mixes transverse modes).  Assertions:
   transport gap beyond the structural band gap.
 """
 
-import numpy as np
-
+from repro.characterize.specs import extract_ext_roughness
 from repro.reporting.tables import format_table
 from repro.variability.edge_roughness import (
     effective_gap_widening_ev,
@@ -58,9 +57,9 @@ def test_edge_roughness_study(benchmark, save_report):
         assert t_vals[0] > t_vals[1] > t_vals[2]
 
     # Narrow ribbons suffer more at p = 0.1.
-    assert (study[(9, 0.1)].mean_transmission
-            < study[(12, 0.1)].mean_transmission
-            < study[(18, 0.1)].mean_transmission + 0.05)
+    fom = extract_ext_roughness({"study": study})
+    assert fom["t_n9_p01"] < fom["t_n12_p01"] < fom["t_n18_p01"] + 0.05
+    assert fom["t_n9_p005"] < fom["t_n18_p005"] + 0.05
 
     # Finite localization and transport-gap widening.
     assert 2.0 < xi < 500.0

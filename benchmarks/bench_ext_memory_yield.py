@@ -16,8 +16,7 @@ Assertions:
   paper's "redundancy required for ECC ... may be off-set" sentence).
 """
 
-import numpy as np
-
+from repro.characterize.specs import extract_ext_yield
 from repro.circuit.inverter import inverter_snm
 from repro.reporting.ascii_plot import ascii_histogram
 from repro.reporting.tables import format_table
@@ -57,10 +56,11 @@ def test_memory_yield_and_ecc(benchmark, tech, save_report):
                              title="64-bit word reliability"))
     save_report("ext_memory_yield", report)
 
-    assert np.std(snm) > 0.0
-    assert snm.min() < nominal
+    fom = extract_ext_yield({"snm_samples": snm})
+    assert fom["snm_std_mv"] > 0.0
+    assert fom["snm_min_mv"] < nominal * 1e3
 
-    p_vals = [cell_failure_probability(snm, b) for b in budgets]
+    p_vals = [fom["p_cell_20mv"], fom["p_cell_35mv"], fom["p_cell_50mv"]]
     assert all(a <= b for a, b in zip(p_vals, p_vals[1:]))
 
     ecc = ECCAnalysis(p_cell=max(p_vals[0], 1e-4), data_bits=64)

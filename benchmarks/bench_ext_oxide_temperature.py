@@ -12,6 +12,10 @@ simulation).  Assertions:
   thermally fragile metric, reinforcing the paper's leakage story.
 """
 
+from repro.characterize.specs import (
+    extract_ext_oxide,
+    extract_ext_temperature,
+)
 from repro.exploration.temperature import (
     leakage_activation_energy_ev,
     temperature_study,
@@ -47,8 +51,9 @@ def test_oxide_thickness_extension(benchmark, tech, save_report):
     # leakage - an order gentler than a width family step, because the
     # leakage floor at the nominal alignment is thermionic-dominated
     # (only the tunneling part feels the natural length).
-    assert delays[-1] / delays[0] > 1.25
-    assert leaks[0] / leaks[-1] > 1.2
+    fom = extract_ext_oxide({"nominal": nominal, "entries": entries})
+    assert fom["delay_ratio_span"] > 1.25
+    assert fom["leak_ratio_span"] > 1.2
 
 
 def test_temperature_extension(benchmark, save_report):
@@ -73,7 +78,7 @@ def test_temperature_extension(benchmark, save_report):
 
     leaks = [p.i_min_a for p in points]
     assert all(a < b for a, b in zip(leaks, leaks[1:]))
-    assert 0.03 < e_a < 0.4
-    on_ratio = points[-1].i_on_a / points[0].i_on_a
-    leak_ratio = points[-1].i_min_a / points[0].i_min_a
-    assert leak_ratio > 3.0 * on_ratio
+    fom = extract_ext_temperature({"points": points,
+                                   "activation_energy_ev": e_a})
+    assert 0.03 < fom["activation_energy_ev"] < 0.4
+    assert fom["leak_ratio_span"] > 3.0 * fom["on_ratio_span"]

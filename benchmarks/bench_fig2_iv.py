@@ -7,8 +7,7 @@ Paper anchors asserted:
 * V_T ~ 0.3 V at zero offset, ~0.1 V at a 0.2 V gate work-function offset.
 """
 
-import numpy as np
-
+from repro.characterize.specs import extract_fig2
 from repro.reporting.experiments import run_fig2
 from repro.reporting.figures import save_series_csv
 
@@ -18,23 +17,19 @@ def test_fig2_iv_and_vt(benchmark, tech, save_report, output_dir):
     save_report("fig2", report)
     save_series_csv(data["series"], output_dir / "fig2a_series.csv")
 
-    # V_T anchors (paper: 0.3 V and 0.1 V).
-    assert abs(data["vt"][0.0] - 0.30) < 0.05
-    assert abs(data["vt"][0.2] - 0.10) < 0.05
-    assert abs((data["vt"][0.0] - data["vt"][0.2]) - 0.2) < 0.04
+    fom = extract_fig2(data)
 
-    by_name = {s.name: s for s in data["series"]}
+    # V_T anchors (paper: 0.3 V and 0.1 V).
+    assert abs(fom["vt_zero_offset_v"] - 0.30) < 0.05
+    assert abs(fom["vt_offset02_v"] - 0.10) < 0.05
+    assert abs(fom["delta_vt_v"] - 0.2) < 0.04
+
     # Ambipolar minimum near V_D/2 for the V_D = 0.5 V curve.
-    s = by_name["VD=0.50V"]
-    v_min = s.x[np.argmin(s.y)]
-    assert abs(v_min - 0.25) < 0.1
+    assert abs(fom["ambipolar_min_vg_v"] - 0.25) < 0.1
 
     # Minimum leakage rises exponentially with V_D.
-    mins = {name: float(np.min(series.y))
-            for name, series in by_name.items()}
-    assert mins["VD=0.50V"] > 4.0 * mins["VD=0.25V"]
-    assert mins["VD=0.75V"] > 4.0 * mins["VD=0.50V"]
+    assert fom["leak_ratio_050_025"] > 4.0
+    assert fom["leak_ratio_075_050"] > 4.0
 
     # I_on scale at V_D = 0.5 (paper ~6.3 uA; factor-2 band).
-    i_on = float(by_name["VD=0.50V"].y[-1])
-    assert 2.5e-6 < i_on < 13e-6
+    assert 2.5 < fom["i_on_vd05_ua"] < 13.0

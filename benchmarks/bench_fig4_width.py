@@ -7,8 +7,7 @@ Paper anchors asserted:
 * on-current increases with width (more drive at smaller gap).
 """
 
-import numpy as np
-
+from repro.characterize.specs import extract_fig4
 from repro.reporting.experiments import run_fig4
 from repro.reporting.figures import save_series_csv
 
@@ -18,16 +17,17 @@ def test_fig4_width_iv(benchmark, tech, save_report, output_dir):
     save_report("fig4", report)
     save_series_csv(data["series"], output_dir / "fig4_series.csv")
 
-    ratios = data["on_off_ratios"]
-    assert ratios[9] > ratios[12] > ratios[15] > ratios[18]
-    assert ratios[9] > 100.0
-    assert ratios[18] < 20.0
+    fom = extract_fig4(data)
+    assert (fom["on_off_n9"] > fom["on_off_n12"] > fom["on_off_n15"]
+            > fom["on_off_n18"])
+    assert fom["on_off_n9"] > 100.0
+    assert fom["on_off_n18"] < 20.0
 
     by_name = {s.name: s for s in data["series"]}
     i_on = {n: float(by_name[f"N={n}"].y[-1]) for n in (9, 12, 15, 18)}
     assert i_on[9] < i_on[12] < i_on[15] < i_on[18]
+    assert fom["i_on_ratio_n18_n9"] > 1.0
 
     # Leakage changes by orders of magnitude over a couple of Angstrom
     # of width (conclusions anchor A7).
-    i_min = {n: float(np.min(by_name[f"N={n}"].y)) for n in (9, 18)}
-    assert i_min[18] / i_min[9] > 100.0
+    assert fom["leak_ratio_n18_n9"] > 100.0

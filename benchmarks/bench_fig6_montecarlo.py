@@ -13,6 +13,7 @@ Paper anchors asserted:
 
 import numpy as np
 
+from repro.characterize.specs import extract_fig6
 from repro.reporting.experiments import nominal_technology
 from repro.reporting.ascii_plot import ascii_histogram
 from repro.variability.montecarlo import run_ring_oscillator_monte_carlo
@@ -43,8 +44,9 @@ def test_fig6_monte_carlo(benchmark, tech, save_report):
     ])
     save_report("fig6", report)
 
-    assert -0.30 < result.mean_frequency_shift < -0.02
-    assert 0.05 < result.mean_static_power_shift < 1.5
-    assert abs(result.mean_dynamic_power_shift) < 0.15
-    assert np.std(result.frequencies_hz) > 0.02 * result.nominal_frequency_hz
+    fom = extract_fig6({"result": result})
+    assert -30.0 < fom["mean_frequency_shift_pct"] < -2.0
+    assert 5.0 < fom["mean_static_power_shift_pct"] < 150.0
+    assert abs(fom["mean_dynamic_power_shift_pct"]) < 15.0
+    assert fom["freq_spread_rel"] > 0.02
     assert np.mean(result.frequencies_hz) < result.nominal_frequency_hz

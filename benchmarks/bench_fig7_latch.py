@@ -10,6 +10,7 @@ paper's worst anomaly (n: N=9 & +q, p: N=18 & -q).  Anchors asserted:
 * the single-GNR case sits between nominal and all-affected.
 """
 
+from repro.characterize.specs import extract_fig7
 from repro.reporting.experiments import run_fig7
 
 
@@ -18,12 +19,13 @@ def test_fig7_latch_butterfly(benchmark, tech, save_report):
     save_report("fig7", report)
 
     nominal, single, worst = data["cases"]
+    fom = extract_fig7(data)
 
-    assert nominal.snm_v > 0.03
-    assert single.snm_v < nominal.snm_v
-    assert worst.snm_v <= single.snm_v
-    assert worst.snm_v < 0.35 * nominal.snm_v
+    assert fom["nominal_snm_mv"] > 30.0
+    assert fom["single_snm_mv"] < fom["nominal_snm_mv"]
+    assert fom["worst_snm_mv"] <= fom["single_snm_mv"]
+    assert fom["worst_snm_mv"] < 0.35 * fom["nominal_snm_mv"]
 
     assert single.static_power_w > nominal.static_power_w
-    assert worst.static_power_w > 2.0 * nominal.static_power_w
+    assert fom["worst_pstat_ratio"] > 2.0
     assert worst.static_power_w > single.static_power_w

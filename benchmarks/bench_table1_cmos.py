@@ -11,6 +11,7 @@ calibrated compact model.  Paper anchors asserted:
 * every CMOS SNM exceeds every GNRFET SNM.
 """
 
+from repro.characterize.specs import extract_table1
 from repro.reporting.experiments import run_table1
 
 
@@ -19,16 +20,14 @@ def test_table1_gnrfet_vs_cmos(benchmark, tech, save_report):
         run_table1, kwargs={"fast": False}, rounds=1, iterations=1)
     save_report("table1", report)
 
-    gnr = {r.label: r for r in data["gnrfet"]}
     cmos = data["cmos"]
-    r_min, r_max = data["edp_ratio_range"]
+    fom = extract_table1(data)
 
-    assert 1.5 < gnr["B"].frequency_ghz < 8.0
-    assert r_min > 20.0
-    assert r_max < 1000.0
+    assert 1.5 < fom["b_frequency_ghz"] < 8.0
+    assert fom["edp_ratio_min"] > 20.0
+    assert fom["edp_ratio_max"] < 1000.0
 
-    ratio_bc = gnr["B"].frequency_ghz / gnr["C"].frequency_ghz
-    assert 1.2 < ratio_bc < 2.5
+    assert 1.2 < fom["b_over_c_frequency"] < 2.5
 
     assert max(r.snm_v for r in data["gnrfet"]) < min(r.snm_v for r in cmos)
 

@@ -13,6 +13,7 @@ scenarios.  Paper anchors asserted:
   (paper: ~3x).
 """
 
+from repro.characterize.specs import extract_table2
 from repro.reporting.experiments import run_table2
 
 
@@ -22,23 +23,20 @@ def test_table2_width_variation(benchmark, tech, save_report):
     save_report("table2", report)
 
     entries = data["entries"]
+    fom = extract_table2(data)
 
-    slow = entries[(9, 9)]
-    assert slow.delay_pct[0] > 0.0
-    assert slow.delay_pct[1] > slow.delay_pct[0]
+    assert fom["delay_slow_one_pct"] > 0.0
+    assert fom["delay_slow_all_pct"] > fom["delay_slow_one_pct"]
 
-    leaky = entries[(18, 18)]
-    assert leaky.delay_pct[1] < 0.0
-    assert leaky.static_power_pct[1] > 250.0
-    assert leaky.static_power_pct[0] > 80.0
-    assert leaky.dynamic_power_pct[1] > 0.0
+    assert fom["delay_fast_all_pct"] < 0.0
+    assert fom["pstat_leaky_all_pct"] > 250.0
+    assert fom["pstat_leaky_one_pct"] > 80.0
+    assert entries[(18, 18)].dynamic_power_pct[1] > 0.0
 
     # SNM: matched narrow helps, mismatch hurts most.
-    assert entries[(9, 9)].snm_pct[1] > entries[(18, 18)].snm_pct[1]
-    mismatch = min(entries[(9, 18)].snm_pct[1],
-                   entries[(18, 9)].snm_pct[1])
-    assert mismatch < -25.0
-    assert mismatch <= entries[(18, 18)].snm_pct[1] + 1.0
+    assert fom["snm_matched_narrow_all_pct"] > entries[(18, 18)].snm_pct[1]
+    assert fom["snm_mismatch_worst_pct"] < -25.0
+    assert fom["snm_mismatch_worst_pct"] <= entries[(18, 18)].snm_pct[1] + 1.0
 
     # Static power is monotone in the number of small-gap ribbons.
     assert (entries[(18, 18)].static_power_pct[1]

@@ -3,7 +3,7 @@
 The architecture (DESIGN.md §4) is a strict pipeline
 
 ``constants -> atomistic -> {poisson, negf} -> device -> circuit ->
-cmos -> exploration -> variability -> reporting -> cli``
+cmos -> exploration -> variability -> reporting -> characterize -> cli``
 
 with four cross-cutting utility layers importable from anywhere:
 ``errors`` (exception hierarchy), ``runtime`` (execution substrate),
@@ -46,8 +46,9 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "exploration": frozenset({"cmos", "runtime", "obs"}),
     "variability": frozenset({"exploration", "runtime", "sanitize"}),
     "reporting": frozenset({"variability"}),
-    "cli": frozenset({"reporting", "analysis", "runtime", "sanitize",
-                      "obs"}),
+    "characterize": frozenset({"reporting", "runtime", "obs", "errors"}),
+    "cli": frozenset({"reporting", "characterize", "analysis", "runtime",
+                      "sanitize", "obs"}),
 }
 
 

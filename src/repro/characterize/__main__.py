@@ -1,0 +1,9 @@
+"""Module entry point: ``python -m repro.characterize``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.characterize.cli import main
+
+sys.exit(main())

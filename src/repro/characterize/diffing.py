@@ -1,0 +1,135 @@
+"""Diff engine: measured metrics vs a golden block, per-metric tolerance.
+
+The allowance for each metric is ``abs_tol + rel_tol * |golden|`` from
+its :class:`~repro.characterize.specs.MetricSpec` — tolerance authority
+lives in code, not in the golden file.  NaN means "this cell is
+quarantined in this mode" (fast grids skip it, or the solver's retry
+ladder gave up): NaN on **both** sides agrees, NaN on one side only is a
+failure, because a metric silently appearing or vanishing is exactly the
+regression this gate exists to catch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.characterize.specs import ExperimentSpec, MetricSpec
+
+#: Metric diff statuses, in decreasing severity.
+FAIL_STATUSES = ("fail", "nan-mismatch", "missing-metric", "new-metric")
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """Outcome of comparing one measured metric against its golden value.
+
+    ``status`` is one of ``"pass"``, ``"fail"`` (drift beyond the
+    allowance), ``"nan-mismatch"`` (NaN on exactly one side),
+    ``"missing-metric"`` (golden has it, run does not) or
+    ``"new-metric"`` (run has it, golden does not).
+    """
+
+    name: str
+    status: str
+    measured: float
+    golden: float
+    allowance: float
+    drift: float
+
+    @property
+    def ok(self) -> bool:
+        """True when this metric agrees with its golden value."""
+        return self.status == "pass"
+
+    @property
+    def margin(self) -> float:
+        """Headroom left inside the allowance (negative when violated)."""
+        if math.isnan(self.drift) or math.isnan(self.allowance):
+            return float("nan")
+        return self.allowance - self.drift
+
+
+@dataclass(frozen=True)
+class ExperimentDiff:
+    """All metric diffs for one experiment in one mode."""
+
+    experiment_id: str
+    mode: str
+    status: str  # "pass", "fail" or "unblessed"
+    metrics: tuple[MetricDiff, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every metric agrees with the golden block."""
+        return self.status == "pass"
+
+    def failures(self) -> tuple[MetricDiff, ...]:
+        """The metric diffs that did not pass."""
+        return tuple(m for m in self.metrics if not m.ok)
+
+
+def diff_metric(spec: MetricSpec, measured: float,
+                golden: float) -> MetricDiff:
+    """Compare one measured value against its golden counterpart."""
+    measured = float(measured)
+    golden = float(golden)
+    m_nan, g_nan = math.isnan(measured), math.isnan(golden)
+    if m_nan and g_nan:
+        # Quarantined in both the golden and this run: agreement.
+        return MetricDiff(name=spec.name, status="pass", measured=measured,
+                          golden=golden, allowance=float("nan"),
+                          drift=float("nan"))
+    if m_nan or g_nan:
+        return MetricDiff(name=spec.name, status="nan-mismatch",
+                          measured=measured, golden=golden,
+                          allowance=float("nan"), drift=float("nan"))
+    allowance = spec.allowance(golden)
+    drift = abs(measured - golden)
+    status = "pass" if drift <= allowance else "fail"
+    return MetricDiff(name=spec.name, status=status, measured=measured,
+                      golden=golden, allowance=allowance, drift=drift)
+
+
+def diff_experiment(spec: ExperimentSpec, measured: dict[str, float],
+                    golden: dict | None, mode: str) -> ExperimentDiff:
+    """Diff one experiment's measured metrics against its golden block.
+
+    ``golden`` is the decoded golden record from
+    :func:`~repro.characterize.goldens.load_golden`, or ``None`` /
+    missing the mode block, in which case the experiment is reported as
+    ``"unblessed"`` (a failure: every experiment must carry a golden).
+    """
+    block = None if golden is None else golden["modes"].get(mode)
+    if block is None:
+        return ExperimentDiff(experiment_id=spec.id, mode=mode,
+                              status="unblessed", metrics=())
+
+    diffs: list[MetricDiff] = []
+    for metric in spec.metrics:
+        if metric.name not in block:
+            if metric.name in measured:
+                diffs.append(MetricDiff(
+                    name=metric.name, status="new-metric",
+                    measured=float(measured[metric.name]),
+                    golden=float("nan"), allowance=float("nan"),
+                    drift=float("nan")))
+            continue
+        if metric.name not in measured:
+            diffs.append(MetricDiff(
+                name=metric.name, status="missing-metric",
+                measured=float("nan"), golden=float(block[metric.name]),
+                allowance=float("nan"), drift=float("nan")))
+            continue
+        diffs.append(diff_metric(metric, measured[metric.name],
+                                 block[metric.name]))
+    # Golden keys not declared in the spec anymore: stale golden.
+    for name in sorted(set(block) - set(spec.metric_names())):
+        diffs.append(MetricDiff(
+            name=name, status="missing-metric", measured=float("nan"),
+            golden=float(block[name]), allowance=float("nan"),
+            drift=float("nan")))
+
+    status = "pass" if all(d.ok for d in diffs) else "fail"
+    return ExperimentDiff(experiment_id=spec.id, mode=mode, status=status,
+                          metrics=tuple(diffs))

@@ -1,0 +1,176 @@
+"""Golden JSON files: the committed reference values under ``goldens/``.
+
+One file per experiment, schema ``repro-golden/1``::
+
+    {
+      "schema": "repro-golden/1",
+      "experiment": "fig2",
+      "reason": "initial blessing after NEGF refactor",
+      "modes": {
+        "fast": {"vt_zero_offset_v": 0.295, "leak_ratio_050_025": null},
+        "full": {...}
+      }
+    }
+
+Fast and full runs use different grids, so each mode gets its own metric
+block; a metric unavailable in a mode is stored as JSON ``null`` and
+round-trips as NaN.  Goldens deliberately carry **no** timings or
+timestamps — re-blessing with unchanged physics must be bitwise stable —
+and no tolerances: the drift allowance is owned by the
+:class:`~repro.characterize.specs.MetricSpec` in code, so loosening a
+tolerance is a reviewed source change, not a data edit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+from repro.characterize.specs import SPECS
+from repro.errors import GoldenError
+
+#: Schema tag written to and required from every golden file.
+GOLDEN_SCHEMA = "repro-golden/1"
+
+#: Repository-relative directory holding the golden files.
+GOLDEN_DIR = Path("goldens")
+
+_MODES = ("fast", "full")
+
+
+def golden_path(experiment_id: str, root: Path | None = None) -> Path:
+    """Path of the golden file for one experiment."""
+    base = GOLDEN_DIR if root is None else Path(root)
+    return base / f"{experiment_id}.json"
+
+
+def _decode_metrics(block: dict, experiment_id: str) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for name, value in block.items():
+        if value is None:
+            metrics[name] = float("nan")
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[name] = float(value)
+        else:
+            raise GoldenError(
+                f"golden for {experiment_id!r}: metric {name!r} is "
+                f"{value!r}, expected a number or null")
+    return metrics
+
+
+def load_golden(experiment_id: str, root: Path | None = None) -> dict:
+    """Load and validate one golden file.
+
+    Returns ``{"experiment", "reason", "modes": {mode: {name: float}}}``
+    with NaN restored from ``null``.  Raises :class:`GoldenError` on a
+    missing file, wrong schema, or malformed metric values.
+    """
+    path = golden_path(experiment_id, root)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise GoldenError(
+            f"no golden for {experiment_id!r} at {path}; bless one with "
+            "'repro characterize --update --reason ...'") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GoldenError(f"cannot read golden {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("schema") != GOLDEN_SCHEMA:
+        raise GoldenError(
+            f"golden {path} has schema {raw.get('schema')!r}, "
+            f"expected {GOLDEN_SCHEMA!r}")
+    if raw.get("experiment") != experiment_id:
+        raise GoldenError(
+            f"golden {path} claims experiment {raw.get('experiment')!r}, "
+            f"expected {experiment_id!r}")
+    modes = raw.get("modes")
+    if not isinstance(modes, dict) or not modes:
+        raise GoldenError(f"golden {path} has no 'modes' blocks")
+    decoded: dict[str, dict[str, float]] = {}
+    for mode, block in modes.items():
+        if mode not in _MODES:
+            raise GoldenError(
+                f"golden {path} has unknown mode {mode!r} "
+                f"(expected one of {_MODES})")
+        if not isinstance(block, dict):
+            raise GoldenError(f"golden {path} mode {mode!r} is not a dict")
+        decoded[mode] = _decode_metrics(block, experiment_id)
+    return {
+        "experiment": experiment_id,
+        "reason": str(raw.get("reason", "")),
+        "modes": decoded,
+    }
+
+
+def load_goldens(ids: list[str] | None = None,
+                 root: Path | None = None) -> dict[str, dict]:
+    """Load goldens for the given experiments; missing files are skipped."""
+    result: dict[str, dict] = {}
+    for experiment_id in (ids if ids is not None else list(SPECS)):
+        try:
+            result[experiment_id] = load_golden(experiment_id, root)
+        except GoldenError:
+            continue
+    return result
+
+
+def _encode_metrics(metrics: dict[str, float]) -> dict[str, object]:
+    encoded: dict[str, object] = {}
+    for name in sorted(metrics):
+        value = float(metrics[name])
+        encoded[name] = None if math.isnan(value) else value
+    return encoded
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def bless_golden(experiment_id: str, mode: str, metrics: dict[str, float],
+                 reason: str, root: Path | None = None) -> Path:
+    """Write (or update one mode block of) an experiment's golden file.
+
+    Only the targeted ``mode`` block is replaced; the other mode's
+    values survive, so blessing a fast run never invalidates a full
+    blessing.  The write is atomic (temp file + ``os.replace``) and the
+    serialization is canonical — sorted keys, fixed indent, trailing
+    newline — so re-blessing identical metrics is bitwise stable.
+    """
+    if experiment_id not in SPECS:
+        raise GoldenError(f"unknown experiment {experiment_id!r}")
+    if mode not in _MODES:
+        raise GoldenError(f"unknown mode {mode!r} (expected one of {_MODES})")
+    if not reason or not reason.strip():
+        raise GoldenError(
+            "blessing a golden requires a non-empty --reason")
+    spec = SPECS[experiment_id]
+    unknown = sorted(set(metrics) - set(spec.metric_names()))
+    if unknown:
+        raise GoldenError(
+            f"cannot bless {experiment_id!r}: metrics {unknown} are not "
+            "declared in its ExperimentSpec")
+
+    modes: dict[str, dict[str, object]] = {}
+    try:
+        existing = load_golden(experiment_id, root)
+    except GoldenError:
+        existing = None
+    if existing is not None:
+        for other, block in existing["modes"].items():
+            modes[other] = _encode_metrics(block)
+    modes[mode] = _encode_metrics(metrics)
+
+    payload = {
+        "schema": GOLDEN_SCHEMA,
+        "experiment": experiment_id,
+        "reason": reason.strip(),
+        "modes": {m: modes[m] for m in _MODES if m in modes},
+    }
+    path = golden_path(experiment_id, root)
+    _atomic_write(path, json.dumps(payload, indent=2, sort_keys=False)
+                  + "\n")
+    return path

@@ -1,0 +1,641 @@
+"""Characterization specs: one entry per paper experiment.
+
+Each :class:`ExperimentSpec` names the figures of merit a paper artifact
+must reproduce (on/off ratio, V_T, ring-oscillator frequency vs the
+2.7 GHz calibration datum, EDP minima, SNM, Monte Carlo spread, ...),
+the paper's reference value for each, and a per-metric drift tolerance
+used when diffing a fresh run against the committed golden.
+
+The ``extract_*`` functions are the **single implementation** of
+figure-of-merit extraction: the benchmark suite (``benchmarks/bench_*``)
+and the ``repro characterize`` harness both call them on the ``data``
+dictionary returned by the experiment runners in
+:mod:`repro.reporting.experiments`, so a bench assertion and a golden
+diff can never disagree about how a number was computed.
+
+Fast-mode runs shrink some grids, so metrics whose source cell is not
+computed in fast mode come back as NaN; the diff engine treats
+NaN-vs-NaN as agreement (the cell is quarantined in both the golden and
+the run) and NaN-vs-value as a failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.variability.yield_model import cell_failure_probability
+
+NAN = float("nan")
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One figure of merit: paper reference plus drift tolerance.
+
+    ``paper`` is the paper's reference value in ``unit`` (None when the
+    paper only states a direction or class); ``paper_note`` carries the
+    qualitative claim.  The golden-diff allowance for a blessed value
+    ``g`` is ``abs_tol + rel_tol * |g|``.
+    """
+
+    name: str
+    description: str
+    unit: str
+    paper: float | None = None
+    paper_note: str = ""
+    rel_tol: float = 0.05
+    abs_tol: float = 0.0
+
+    def allowance(self, golden: float) -> float:
+        """Permitted |measured - golden| drift around a blessed value."""
+        return self.abs_tol + self.rel_tol * abs(golden)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper experiment: runner id, benchmark, metrics, extractor."""
+
+    id: str
+    title: str
+    benchmark: str
+    runner: str
+    metrics: tuple[MetricSpec, ...]
+    extract: Callable[[dict], dict[str, float]]
+
+    def metric(self, name: str) -> MetricSpec:
+        """Look up one metric spec by name."""
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise KeyError(f"experiment {self.id!r} has no metric {name!r}")
+
+    def metric_names(self) -> tuple[str, ...]:
+        """Metric names in declaration order."""
+        return tuple(m.name for m in self.metrics)
+
+
+# --------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------- #
+def _series_by_name(data: Mapping, key: str) -> dict:
+    return {s.name: s for s in data[key]}
+
+
+def _pct_cell(entries: Mapping, key: object, attr: str, index: int) -> float:
+    """One (one-affected, all-affected) percentage cell, NaN if absent.
+
+    Fast-mode studies shrink the variant grid, so a missing cell is the
+    quarantined-NaN case, not an error.
+    """
+    entry = entries.get(key)
+    if entry is None:
+        return NAN
+    return float(getattr(entry, attr)[index])
+
+
+# --------------------------------------------------------------------- #
+# device level
+# --------------------------------------------------------------------- #
+def extract_fig2(data: dict) -> dict[str, float]:
+    """Fig. 2: V_T anchors, ambipolar minimum, leakage growth, I_on."""
+    by_name = _series_by_name(data, "series")
+    s05 = by_name["VD=0.50V"]
+    mins = {name: float(np.min(s.y)) for name, s in by_name.items()}
+    return {
+        "vt_zero_offset_v": float(data["vt"][0.0]),
+        "vt_offset02_v": float(data["vt"][0.2]),
+        "delta_vt_v": float(data["vt"][0.0] - data["vt"][0.2]),
+        "ambipolar_min_vg_v": float(s05.x[int(np.argmin(s05.y))]),
+        "leak_ratio_050_025": mins["VD=0.50V"] / mins["VD=0.25V"],
+        "leak_ratio_075_050": mins["VD=0.75V"] / mins["VD=0.50V"],
+        "i_on_vd05_ua": float(s05.y[-1]) * 1e6,
+    }
+
+
+def extract_fig4(data: dict) -> dict[str, float]:
+    """Fig. 4: on/off ratios per width family, leakage and drive spans."""
+    ratios = data["on_off_ratios"]
+    by_name = _series_by_name(data, "series")
+    i_on = {n: float(by_name[f"N={n}"].y[-1]) for n in (9, 18)}
+    i_min = {n: float(np.min(by_name[f"N={n}"].y)) for n in (9, 18)}
+    return {
+        "on_off_n9": float(ratios[9]),
+        "on_off_n12": float(ratios[12]),
+        "on_off_n15": float(ratios.get(15, NAN)),
+        "on_off_n18": float(ratios[18]),
+        "leak_ratio_n18_n9": i_min[18] / i_min[9],
+        "i_on_ratio_n18_n9": i_on[18] / i_on[9],
+    }
+
+
+def extract_fig5(data: dict) -> dict[str, float]:
+    """Fig. 5: impurity barrier shifts, I_on drop, n-branch asymmetry."""
+    profiles = {p.name: p for p in data["profiles"]}
+    peak = {name: float(p.y.max()) for name, p in profiles.items()}
+    iv = _series_by_name(data, "iv")
+    ion_ideal = float(iv["no impurity"].y[-1])
+    dev_pos = abs(math.log(float(iv["+2q"].y[-1]) / ion_ideal))
+    dev_neg = abs(math.log(float(iv["-2q"].y[-1]) / ion_ideal))
+    return {
+        "barrier_shift_minus2q_ev": peak["-2q"] - peak["no impurity"],
+        "barrier_shift_plus2q_ev": peak["+2q"] - peak["no impurity"],
+        "ion_drop_minus2q": float(data["ion_drop_minus2q"]),
+        "asymmetry_logdev_ratio": dev_neg / max(dev_pos, 1e-12),
+    }
+
+
+# --------------------------------------------------------------------- #
+# circuit level
+# --------------------------------------------------------------------- #
+def extract_fig3(data: dict) -> dict[str, float]:
+    """Fig. 3(b): exploration-plane optimum and design points A/B."""
+    opt, a, b = data["optimum"], data["A"], data["B"]
+    return {
+        "opt_vdd_v": float(opt.vdd),
+        "opt_vt_v": float(opt.vt),
+        "opt_frequency_ghz": float(opt.frequency_hz) / 1e9,
+        "a_edp_fj_ps": float(a.edp_j_s) * 1e27,
+        "a_snm_v": float(a.snm_v),
+        "b_edp_fj_ps": float(b.edp_j_s) * 1e27,
+        "b_snm_v": float(b.snm_v),
+        "edp_b_over_a": float(b.edp_j_s) / float(a.edp_j_s),
+    }
+
+
+def extract_table1(data: dict) -> dict[str, float]:
+    """Table 1: GNRFET A/B/C operating points vs the scaled-CMOS gap."""
+    gnr = {r.label: r for r in data["gnrfet"]}
+    r_min, r_max = data["edp_ratio_range"]
+    return {
+        "a_frequency_ghz": float(gnr["A"].frequency_ghz),
+        "b_frequency_ghz": float(gnr["B"].frequency_ghz),
+        "c_frequency_ghz": float(gnr["C"].frequency_ghz),
+        "b_edp_fj_ps": float(gnr["B"].edp_fj_ps),
+        "b_snm_v": float(gnr["B"].snm_v),
+        "edp_ratio_min": float(r_min),
+        "edp_ratio_max": float(r_max),
+        "b_over_c_frequency": (float(gnr["B"].frequency_ghz)
+                               / float(gnr["C"].frequency_ghz)),
+    }
+
+
+def extract_table2(data: dict) -> dict[str, float]:
+    """Table 2: width-variation corners of the inverter sensitivity grid."""
+    entries = data["entries"]
+    mismatch = min(_pct_cell(entries, (9, 18), "snm_pct", 1),
+                   _pct_cell(entries, (18, 9), "snm_pct", 1))
+    return {
+        "delay_slow_one_pct": _pct_cell(entries, (9, 9), "delay_pct", 0),
+        "delay_slow_all_pct": _pct_cell(entries, (9, 9), "delay_pct", 1),
+        "delay_fast_all_pct": _pct_cell(entries, (18, 18), "delay_pct", 1),
+        "pstat_leaky_one_pct": _pct_cell(entries, (18, 18),
+                                         "static_power_pct", 0),
+        "pstat_leaky_all_pct": _pct_cell(entries, (18, 18),
+                                         "static_power_pct", 1),
+        "snm_mismatch_worst_pct": mismatch,
+        "snm_matched_narrow_all_pct": _pct_cell(entries, (9, 9),
+                                                "snm_pct", 1),
+    }
+
+
+def extract_table3(data: dict) -> dict[str, float]:
+    """Table 3: charge-impurity corners plus the degradation asymmetry."""
+    entries = data["entries"]
+    degradations = [float(e.delay_pct[1]) for e in entries.values()]
+    best_improvement = -min(degradations)
+    worst_degradation = max(degradations)
+    return {
+        "delay_worst_one_pct": _pct_cell(entries, (2.0, -2.0),
+                                         "delay_pct", 0),
+        "delay_worst_all_pct": _pct_cell(entries, (2.0, -2.0),
+                                         "delay_pct", 1),
+        "asymmetry_ratio": worst_degradation / max(best_improvement, 1.0),
+        "snm_pq_all_pct": _pct_cell(entries, (-1.0, 1.0), "snm_pct", 1),
+        "pstat_max_abs_pct": max(abs(float(e.static_power_pct[1]))
+                                 for e in entries.values()),
+    }
+
+
+def extract_table4(data: dict) -> dict[str, float]:
+    """Table 4: combined width+impurity corners and the SNM collapse."""
+    entries = data["entries"]
+    return {
+        "pstat_leaky_all_pct": _pct_cell(entries, ((18, 1.0), (18, -1.0)),
+                                         "static_power_pct", 1),
+        "pstat_double18_all_pct": _pct_cell(entries,
+                                            ((18, -1.0), (18, -1.0)),
+                                            "static_power_pct", 1),
+        "delay_slow_combined_all_pct": _pct_cell(
+            entries, ((9, 1.0), (9, -1.0)), "delay_pct", 1),
+        "snm_asym_all_pct": _pct_cell(entries, ((18, -1.0), (9, 1.0)),
+                                      "snm_pct", 1),
+    }
+
+
+def extract_fig6(data: dict) -> dict[str, float]:
+    """Fig. 6: Monte Carlo mean shifts, spread, and the nominal datum."""
+    result = data["result"]
+    freqs = np.asarray(result.frequencies_hz, dtype=float)
+    return {
+        "mean_frequency_shift_pct": 100.0 * float(
+            result.mean_frequency_shift),
+        "mean_static_power_shift_pct": 100.0 * float(
+            result.mean_static_power_shift),
+        "mean_dynamic_power_shift_pct": 100.0 * float(
+            result.mean_dynamic_power_shift),
+        "nominal_frequency_ghz": float(result.nominal_frequency_hz) / 1e9,
+        "freq_spread_rel": (float(np.nanstd(freqs))
+                            / float(result.nominal_frequency_hz)),
+    }
+
+
+def extract_fig7(data: dict) -> dict[str, float]:
+    """Fig. 7: latch SNM degradation ladder and static-power blow-up."""
+    nominal, single, worst = data["cases"]
+    return {
+        "nominal_snm_mv": float(nominal.snm_v) * 1e3,
+        "single_snm_mv": float(single.snm_v) * 1e3,
+        "worst_snm_mv": float(worst.snm_v) * 1e3,
+        "worst_pstat_ratio": (float(worst.static_power_w)
+                              / float(nominal.static_power_w)),
+    }
+
+
+# --------------------------------------------------------------------- #
+# extensions
+# --------------------------------------------------------------------- #
+def extract_ext_roughness(data: dict) -> dict[str, float]:
+    """Edge roughness: mean first-plateau transmission per (N, p) cell."""
+    study = data["study"]
+
+    def mean_t(n: int, p: float) -> float:
+        stats = study.get((n, p))
+        return NAN if stats is None else float(stats.mean_transmission)
+
+    return {
+        "t_n9_p005": mean_t(9, 0.05),
+        "t_n18_p005": mean_t(18, 0.05),
+        "t_n9_p01": mean_t(9, 0.1),
+        "t_n12_p01": mean_t(12, 0.1),
+        "t_n18_p01": mean_t(18, 0.1),
+    }
+
+
+def extract_ext_oxide(data: dict) -> dict[str, float]:
+    """Oxide thickness: delay/leakage spans across the swept range."""
+    entries = data["entries"]
+    delays = [float(e.metrics.delay_s) for e in entries]
+    leaks = [float(e.metrics.static_power_w) for e in entries]
+    return {
+        "delay_ratio_span": delays[-1] / delays[0],
+        "leak_ratio_span": leaks[0] / leaks[-1],
+        "snm_shift_thick_pct": float(entries[-1].snm_pct),
+    }
+
+
+def extract_ext_temperature(data: dict) -> dict[str, float]:
+    """Temperature: activation energy and leakage-vs-drive fragility."""
+    points = data["points"]
+    return {
+        "activation_energy_ev": float(data["activation_energy_ev"]),
+        "leak_ratio_span": (float(points[-1].i_min_a)
+                            / float(points[0].i_min_a)),
+        "on_ratio_span": (float(points[-1].i_on_a)
+                          / float(points[0].i_on_a)),
+        "pstat_ratio_span": (float(points[-1].inverter_static_power_w)
+                             / float(points[0].inverter_static_power_w)),
+    }
+
+
+def extract_ext_yield(data: dict) -> dict[str, float]:
+    """Memory yield: latch-SNM distribution and failure probabilities."""
+    snm = np.asarray(data["snm_samples"], dtype=float)
+    return {
+        "snm_mean_mv": float(np.mean(snm)) * 1e3,
+        "snm_std_mv": float(np.std(snm)) * 1e3,
+        "snm_min_mv": float(np.min(snm)) * 1e3,
+        "p_cell_20mv": float(cell_failure_probability(snm, 0.02)),
+        "p_cell_35mv": float(cell_failure_probability(snm, 0.035)),
+        "p_cell_50mv": float(cell_failure_probability(snm, 0.05)),
+    }
+
+
+# --------------------------------------------------------------------- #
+# the spec registry
+# --------------------------------------------------------------------- #
+def _spec(id: str, title: str, benchmark: str, runner: str,
+          extract: Callable[[dict], dict[str, float]],
+          *metrics: MetricSpec) -> ExperimentSpec:
+    return ExperimentSpec(id=id, title=title, benchmark=benchmark,
+                          runner=runner, metrics=tuple(metrics),
+                          extract=extract)
+
+
+#: id -> ExperimentSpec for all 14 experiments (same ids and order as
+#: repro.reporting.experiments.EXPERIMENTS; pinned by a test).
+SPECS: dict[str, ExperimentSpec] = {s.id: s for s in (
+    _spec(
+        "fig2", "Fig 2: intrinsic N=12 I-V and VT extraction",
+        "benchmarks/bench_fig2_iv.py", "run_fig2", extract_fig2,
+        MetricSpec("vt_zero_offset_v", "extracted V_T, no gate offset",
+                   "V", paper=0.30, paper_note="~0.3 V",
+                   rel_tol=0.02, abs_tol=0.005),
+        MetricSpec("vt_offset02_v", "extracted V_T at 0.2 V gate offset",
+                   "V", paper=0.10, paper_note="~0.1 V",
+                   rel_tol=0.02, abs_tol=0.005),
+        MetricSpec("delta_vt_v", "V_T shift per 0.2 V of work-function "
+                   "offset", "V", paper=0.20, paper_note="exact tracking",
+                   rel_tol=0.02, abs_tol=0.005),
+        MetricSpec("ambipolar_min_vg_v", "V_G of the leakage minimum at "
+                   "V_D = 0.5 V", "V", paper=0.25,
+                   paper_note="V_G = V_D/2", rel_tol=0.0, abs_tol=0.051),
+        MetricSpec("leak_ratio_050_025", "leakage-floor growth from "
+                   "V_D = 0.25 to 0.5 V", "x", paper=None,
+                   paper_note="exponential in V_D", rel_tol=0.10),
+        MetricSpec("leak_ratio_075_050", "leakage-floor growth from "
+                   "V_D = 0.5 to 0.75 V", "x", paper=None,
+                   paper_note="exponential in V_D", rel_tol=0.10),
+        MetricSpec("i_on_vd05_ua", "on-current at V_G = 0.75, "
+                   "V_D = 0.5 V", "uA", paper=6.3,
+                   paper_note="~6.3 uA scale", rel_tol=0.05),
+    ),
+    _spec(
+        "fig3", "Fig 3(b): EDP/frequency/SNM contours and points A/B",
+        "benchmarks/bench_fig3_contours.py", "run_fig3", extract_fig3,
+        MetricSpec("opt_vdd_v", "V_DD of the global EDP optimum", "V",
+                   paper=0.15, paper_note="interior, low-frequency",
+                   rel_tol=0.0, abs_tol=0.051),
+        MetricSpec("opt_vt_v", "V_T of the global EDP optimum", "V",
+                   paper=0.08, paper_note="interior, low-frequency",
+                   rel_tol=0.0, abs_tol=0.021),
+        MetricSpec("opt_frequency_ghz", "frequency at the global EDP "
+                   "optimum", "GHz", paper=None,
+                   paper_note="slower than points A/B", rel_tol=0.05),
+        MetricSpec("a_edp_fj_ps", "EDP of point A (min EDP at 3 GHz)",
+                   "fJ*ps", paper=None, paper_note="lowest at 3 GHz",
+                   rel_tol=0.08),
+        MetricSpec("a_snm_v", "SNM at point A", "V", paper=0.1,
+                   paper_note="~0.1 V, low", rel_tol=0.05,
+                   abs_tol=0.002),
+        MetricSpec("b_edp_fj_ps", "EDP of point B (adds the SNM floor)",
+                   "fJ*ps", paper=None, paper_note="EDP(B) > EDP(A)",
+                   rel_tol=0.08),
+        MetricSpec("b_snm_v", "SNM at point B", "V", paper=0.13,
+                   paper_note="meets the SNM floor", rel_tol=0.05,
+                   abs_tol=0.002),
+        MetricSpec("edp_b_over_a", "price of noise margin: EDP(B)/EDP(A)",
+                   "x", paper=None, paper_note="> 1", rel_tol=0.10),
+    ),
+    _spec(
+        "table1", "Table 1: GNRFET vs scaled CMOS",
+        "benchmarks/bench_table1_cmos.py", "run_table1", extract_table1,
+        MetricSpec("a_frequency_ghz", "ring-oscillator frequency at "
+                   "point A", "GHz", paper=3.3, rel_tol=0.05),
+        MetricSpec("b_frequency_ghz", "ring-oscillator frequency at "
+                   "point B", "GHz", paper=3.4,
+                   paper_note="vs the 2.7 GHz calibration datum",
+                   rel_tol=0.05),
+        MetricSpec("c_frequency_ghz", "ring-oscillator frequency at "
+                   "point C", "GHz", paper=2.5, rel_tol=0.05),
+        MetricSpec("b_edp_fj_ps", "EDP at point B", "fJ*ps", paper=27.6,
+                   rel_tol=0.08),
+        MetricSpec("b_snm_v", "SNM at point B", "V", paper=0.14,
+                   paper_note="known ~2x scale deviation", rel_tol=0.05,
+                   abs_tol=0.002),
+        MetricSpec("edp_ratio_min", "smallest CMOS/GNRFET-B EDP ratio",
+                   "x", paper=40.0, paper_note="GNRFET wins everywhere",
+                   rel_tol=0.10),
+        MetricSpec("edp_ratio_max", "largest CMOS/GNRFET-B EDP ratio",
+                   "x", paper=168.0, paper_note="GNRFET wins everywhere",
+                   rel_tol=0.10),
+        MetricSpec("b_over_c_frequency", "speed advantage of B over C",
+                   "x", paper=1.4, paper_note="B is ~40% faster",
+                   rel_tol=0.05),
+    ),
+    _spec(
+        "fig4", "Fig 4: I-V vs GNR width",
+        "benchmarks/bench_fig4_width.py", "run_fig4", extract_fig4,
+        MetricSpec("on_off_n9", "I_on/I_off of the N=9 ribbon", "x",
+                   paper=1000.0, paper_note='"as high as 1000x"',
+                   rel_tol=0.10),
+        MetricSpec("on_off_n12", "I_on/I_off of the N=12 ribbon", "x",
+                   paper=None, paper_note="strictly below N=9",
+                   rel_tol=0.10),
+        MetricSpec("on_off_n15", "I_on/I_off of the N=15 ribbon", "x",
+                   paper=None, paper_note="strictly below N=12",
+                   rel_tol=0.10),
+        MetricSpec("on_off_n18", "I_on/I_off of the N=18 ribbon", "x",
+                   paper=None, paper_note='gap "too small for small '
+                   'leakage"', rel_tol=0.10),
+        MetricSpec("leak_ratio_n18_n9", "leakage-floor ratio N=18 vs N=9",
+                   "x", paper=None,
+                   paper_note="orders of magnitude per couple of "
+                   "Angstrom", rel_tol=0.15),
+        MetricSpec("i_on_ratio_n18_n9", "on-current ratio N=18 vs N=9",
+                   "x", paper=1.5, paper_note="~1.5x more drive",
+                   rel_tol=0.05),
+    ),
+    _spec(
+        "fig5", "Fig 5: charge-impurity band profiles and I-V",
+        "benchmarks/bench_fig5_impurity.py", "run_fig5", extract_fig5,
+        MetricSpec("barrier_shift_minus2q_ev", "peak-barrier raise by a "
+                   "-2q impurity (NEGF+Poisson)", "eV", paper=None,
+                   paper_note="raises barrier height and thickness",
+                   rel_tol=0.05, abs_tol=0.01),
+        MetricSpec("barrier_shift_plus2q_ev", "peak-barrier shift by a "
+                   "+2q impurity", "eV", paper=None,
+                   paper_note="lowers the barrier", rel_tol=0.05,
+                   abs_tol=0.01),
+        MetricSpec("ion_drop_minus2q", "I_on degradation factor at -2q",
+                   "x", paper=6.0, paper_note="~6x", rel_tol=0.08),
+        MetricSpec("asymmetry_logdev_ratio", "n-branch log-deviation "
+                   "ratio -2q vs +2q", "x", paper=None,
+                   paper_note="+2q perturbs far less", rel_tol=0.15),
+    ),
+    _spec(
+        "table2", "Table 2: width-variation sensitivity",
+        "benchmarks/bench_table2_width.py", "run_table2", extract_table2,
+        MetricSpec("delay_slow_one_pct", "delay, slow corner (9/9), one "
+                   "affected", "%", paper=6.0, rel_tol=0.10, abs_tol=2.0),
+        MetricSpec("delay_slow_all_pct", "delay, slow corner (9/9), all "
+                   "affected", "%", paper=77.0,
+                   paper_note="direction reproduced, harsher",
+                   rel_tol=0.10, abs_tol=2.0),
+        MetricSpec("delay_fast_all_pct", "delay, fast corner (18/18), "
+                   "all affected", "%", paper=-30.0, rel_tol=0.10,
+                   abs_tol=2.0),
+        MetricSpec("pstat_leaky_one_pct", "static power, leaky corner "
+                   "(18/18), one affected", "%", paper=313.0,
+                   rel_tol=0.10, abs_tol=2.0),
+        MetricSpec("pstat_leaky_all_pct", "static power, leaky corner "
+                   "(18/18), all affected", "%", paper=643.0,
+                   rel_tol=0.10, abs_tol=2.0),
+        MetricSpec("snm_mismatch_worst_pct", "worst SNM loss at maximum "
+                   "width mismatch", "%", paper=-80.0, rel_tol=0.10,
+                   abs_tol=2.0),
+        MetricSpec("snm_matched_narrow_all_pct", "SNM gain with matched "
+                   "narrow ribbons", "%", paper=13.0,
+                   paper_note="0.15 -> 0.17 V", rel_tol=0.10,
+                   abs_tol=2.0),
+    ),
+    _spec(
+        "table3", "Table 3: charge-impurity sensitivity",
+        "benchmarks/bench_table3_impurity.py", "run_table3",
+        extract_table3,
+        MetricSpec("delay_worst_one_pct", "delay, worst cell (n:-2q, "
+                   "p:+2q), one affected", "%", paper=8.0, rel_tol=0.10,
+                   abs_tol=2.0),
+        MetricSpec("delay_worst_all_pct", "delay, worst cell (n:-2q, "
+                   "p:+2q), all affected", "%", paper=92.0,
+                   paper_note="direction reproduced, harsher",
+                   rel_tol=0.10, abs_tol=2.0),
+        MetricSpec("asymmetry_ratio", "worst degradation over best "
+                   "improvement", "x", paper=None,
+                   paper_note="highly asymmetric", rel_tol=0.15),
+        MetricSpec("snm_pq_all_pct", "SNM change for (n:+q, p:-q), all "
+                   "affected", "%", paper=-40.0,
+                   paper_note="direction reproduced, milder",
+                   rel_tol=0.10, abs_tol=2.0),
+        MetricSpec("pstat_max_abs_pct", "largest |static power| move in "
+                   "the grid", "%", paper=None,
+                   paper_note="smaller than width variation",
+                   rel_tol=0.10, abs_tol=2.0),
+    ),
+    _spec(
+        "table4", "Table 4: simultaneous variations",
+        "benchmarks/bench_table4_combined.py", "run_table4",
+        extract_table4,
+        MetricSpec("pstat_leaky_all_pct", "static power, (p:18/+q, "
+                   "n:18/-q), all affected", "%", paper=684.0,
+                   paper_note="> 7x", rel_tol=0.10, abs_tol=2.0),
+        MetricSpec("pstat_double18_all_pct", "static power, both devices "
+                   "N=18/-q, all affected", "%", paper=None,
+                   paper_note="width-class blow-up", rel_tol=0.10,
+                   abs_tol=2.0),
+        MetricSpec("delay_slow_combined_all_pct", "delay, combined slow "
+                   "corner (9/+-q), all affected", "%", paper=100.0,
+                   paper_note="> 2x, beyond width-only", rel_tol=0.10,
+                   abs_tol=2.0),
+        MetricSpec("snm_asym_all_pct", "SNM at maximum n/p asymmetry "
+                   "(n:9/+q, p:18/-q)", "%", paper=-100.0,
+                   paper_note="eye collapse", rel_tol=0.10, abs_tol=2.0),
+    ),
+    _spec(
+        "fig6", "Fig 6: ring-oscillator Monte Carlo",
+        "benchmarks/bench_fig6_montecarlo.py", "run_fig6", extract_fig6,
+        MetricSpec("mean_frequency_shift_pct", "mean frequency shift vs "
+                   "nominal", "%", paper=-10.0, rel_tol=0.05,
+                   abs_tol=1.0),
+        MetricSpec("mean_static_power_shift_pct", "mean static-power "
+                   "shift vs nominal", "%", paper=23.0, rel_tol=0.05,
+                   abs_tol=1.0),
+        MetricSpec("mean_dynamic_power_shift_pct", "mean dynamic-power "
+                   "shift vs nominal", "%", paper=0.0,
+                   paper_note="~0", rel_tol=0.05, abs_tol=1.0),
+        # repro: noqa[RPA201] -- 2.7 is the paper's nominal clock in
+        # GHz (Fig 6 datum), not the hopping energy.
+        MetricSpec("nominal_frequency_ghz", "nominal ring-oscillator "
+                   "frequency", "GHz", paper=2.7,  # repro: noqa[RPA201]
+                   paper_note="the calibration datum", rel_tol=0.03),
+        MetricSpec("freq_spread_rel", "frequency spread (std/nominal)",
+                   "ratio", paper=None, paper_note="finite, unimodal",
+                   rel_tol=0.08),
+    ),
+    _spec(
+        "fig7", "Fig 7: latch butterfly study",
+        "benchmarks/bench_fig7_latch.py", "run_fig7", extract_fig7,
+        MetricSpec("nominal_snm_mv", "nominal latch SNM", "mV",
+                   paper=150.0, paper_note="known ~2x scale deviation",
+                   rel_tol=0.05, abs_tol=1.0),
+        MetricSpec("single_snm_mv", "SNM with a single affected GNR",
+                   "mV", paper=None, paper_note="between nominal and "
+                   "worst", rel_tol=0.05, abs_tol=1.0),
+        MetricSpec("worst_snm_mv", "SNM with all GNRs affected", "mV",
+                   paper=0.0, paper_note="degrades to near-zero",
+                   rel_tol=0.08, abs_tol=1.0),
+        MetricSpec("worst_pstat_ratio", "worst-case static power vs "
+                   "nominal", "x", paper=5.0,
+                   paper_note="> 5x; ours milder", rel_tol=0.08),
+    ),
+    _spec(
+        "ext-roughness", "Extension: edge-roughness defects",
+        "benchmarks/bench_ext_edge_roughness.py", "run_ext_roughness",
+        extract_ext_roughness,
+        MetricSpec("t_n9_p005", "mean first-plateau transmission, N=9 at "
+                   "p=0.05", "T", paper=None,
+                   paper_note="monotone degradation", rel_tol=0.10),
+        MetricSpec("t_n18_p005", "mean first-plateau transmission, N=18 "
+                   "at p=0.05", "T", paper=None,
+                   paper_note="wider ribbons degrade less",
+                   rel_tol=0.10),
+        MetricSpec("t_n9_p01", "mean first-plateau transmission, N=9 at "
+                   "p=0.1", "T", paper=None,
+                   paper_note="worst cell", rel_tol=0.10),
+        MetricSpec("t_n12_p01", "mean first-plateau transmission, N=12 "
+                   "at p=0.1", "T", paper=None, paper_note="",
+                   rel_tol=0.10),
+        MetricSpec("t_n18_p01", "mean first-plateau transmission, N=18 "
+                   "at p=0.1", "T", paper=None, paper_note="",
+                   rel_tol=0.10),
+    ),
+    _spec(
+        "ext-oxide", "Extension: oxide-thickness variation",
+        "benchmarks/bench_ext_oxide_temperature.py", "run_ext_oxide",
+        extract_ext_oxide,
+        MetricSpec("delay_ratio_span", "delay ratio across the swept "
+                   "t_ox range", "x", paper=None,
+                   paper_note="thicker oxide is slower", rel_tol=0.05),
+        MetricSpec("leak_ratio_span", "leakage ratio thin vs thick "
+                   "oxide", "x", paper=None,
+                   paper_note="thinner oxide leaks more", rel_tol=0.05),
+        MetricSpec("snm_shift_thick_pct", "SNM shift at the thickest "
+                   "oxide", "%", paper=None, paper_note="secondary knob",
+                   rel_tol=0.10, abs_tol=1.0),
+    ),
+    _spec(
+        "ext-temperature", "Extension: temperature dependence",
+        "benchmarks/bench_ext_oxide_temperature.py",
+        "run_ext_temperature", extract_ext_temperature,
+        MetricSpec("activation_energy_ev", "leakage activation energy",
+                   "eV", paper=None,
+                   paper_note="sizeable fraction of the 0.304 eV "
+                   "half-gap", rel_tol=0.05, abs_tol=0.005),
+        MetricSpec("leak_ratio_span", "leakage growth across the "
+                   "temperature span", "x", paper=None,
+                   paper_note="Arrhenius-activated", rel_tol=0.08),
+        MetricSpec("on_ratio_span", "on-current growth across the span",
+                   "x", paper=None, paper_note="weak", rel_tol=0.05),
+        MetricSpec("pstat_ratio_span", "static-power growth across the "
+                   "span", "x", paper=None,
+                   paper_note="the thermally fragile metric",
+                   rel_tol=0.08),
+    ),
+    _spec(
+        "ext-yield", "Extension: memory yield and ECC overhead",
+        "benchmarks/bench_ext_memory_yield.py", "run_ext_yield",
+        extract_ext_yield,
+        MetricSpec("snm_mean_mv", "mean sampled latch SNM", "mV",
+                   paper=None, paper_note="below nominal", rel_tol=0.05,
+                   abs_tol=1.0),
+        MetricSpec("snm_std_mv", "latch-SNM spread", "mV", paper=None,
+                   paper_note="finite degraded tail", rel_tol=0.08,
+                   abs_tol=1.0),
+        MetricSpec("snm_min_mv", "worst sampled latch SNM", "mV",
+                   paper=None, paper_note="toward zero", rel_tol=0.15,
+                   abs_tol=2.0),
+        MetricSpec("p_cell_20mv", "cell failure probability at a 20 mV "
+                   "noise budget", "prob", paper=None, paper_note="",
+                   rel_tol=0.10, abs_tol=0.005),
+        MetricSpec("p_cell_35mv", "cell failure probability at a 35 mV "
+                   "noise budget", "prob", paper=None, paper_note="",
+                   rel_tol=0.10, abs_tol=0.005),
+        MetricSpec("p_cell_50mv", "cell failure probability at a 50 mV "
+                   "noise budget", "prob", paper=None,
+                   paper_note="monotone in the budget", rel_tol=0.10,
+                   abs_tol=0.005),
+    ),
+)}

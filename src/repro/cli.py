@@ -8,6 +8,7 @@ Usage::
     repro run fig4 [--strict] [--checkpoint N] [--resume] [--faults SPEC]
     repro run fig4 [--engine modespace] [--backend numba]
     repro lint [paths ...] [--format json] [--baseline FILE]
+    repro characterize [--check|--update|--docs] [--only fig2,table1] [--fast]
     repro cache info
     repro cache clear
     repro trace summarize manifest.json [--format text|json] [--top N]
@@ -44,6 +45,8 @@ from pathlib import Path
 from repro import obs, sanitize
 from repro.analysis.cli import build_parser as build_lint_parser
 from repro.analysis.cli import main as lint_main
+from repro.characterize.cli import build_parser as build_characterize_parser
+from repro.characterize.cli import main as characterize_main
 from repro.device.engines import ENGINE_ENV, ENGINES
 from repro.runtime.backend import BACKEND_ENV, BACKEND_NAMES
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
@@ -140,6 +143,10 @@ def _cmd_lint(args) -> int:
     return lint_main(args=args)
 
 
+def _cmd_characterize(args) -> int:
+    return characterize_main(args=args)
+
+
 def _cmd_cache(args) -> int:
     store = ArtifactCache("tables")
     if args.action == "clear":
@@ -230,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", parents=[build_lint_parser()], add_help=False,
         help="physics-aware static analysis of the repro tree")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_char = sub.add_parser(
+        "characterize", parents=[build_characterize_parser()],
+        add_help=False,
+        help="golden-regression harness over all paper experiments")
+    p_char.set_defaults(func=_cmd_characterize)
 
     p_cache = sub.add_parser("cache",
                              help="inspect or clear the on-disk cache")

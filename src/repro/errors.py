@@ -67,6 +67,11 @@ class AnalysisError(ReproError):
     (e.g. no oscillation detected when measuring ring-oscillator frequency)."""
 
 
+class GoldenError(ReproError):
+    """A golden characterization file is malformed or cannot be blessed
+    (wrong schema, unknown experiment, missing ``--reason``)."""
+
+
 class ParallelMapError(ReproError):
     """A :func:`repro.runtime.parallel_map` worker chunk failed.
 

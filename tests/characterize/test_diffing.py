@@ -1,0 +1,109 @@
+"""Diff engine: tolerance edges, NaN semantics, metric-set mismatches."""
+
+from __future__ import annotations
+
+import math
+
+from repro.characterize.diffing import diff_experiment, diff_metric
+from repro.characterize.specs import ExperimentSpec, MetricSpec
+
+NAN = float("nan")
+
+
+def _metric(rel=0.05, abs_=0.0, name="m"):
+    return MetricSpec(name=name, description="d", unit="u",
+                      rel_tol=rel, abs_tol=abs_)
+
+
+def _spec(*metrics):
+    return ExperimentSpec(id="x", title="t", benchmark="b", runner="r",
+                          metrics=metrics, extract=lambda data: {})
+
+
+def _golden(mode="fast", **values):
+    return {"experiment": "x", "reason": "", "modes": {mode: values}}
+
+
+class TestAllowance:
+    def test_combines_abs_and_rel(self):
+        metric = _metric(rel=0.1, abs_=0.5)
+        assert metric.allowance(10.0) == 0.5 + 1.0
+        assert metric.allowance(-10.0) == 0.5 + 1.0  # |golden|
+
+    def test_zero_golden_leaves_abs_floor(self):
+        assert _metric(rel=0.1, abs_=0.25).allowance(0.0) == 0.25
+
+
+class TestMetricDiff:
+    def test_drift_exactly_at_allowance_passes(self):
+        metric = _metric(rel=0.0, abs_=0.5)
+        assert diff_metric(metric, 10.5, 10.0).status == "pass"
+
+    def test_drift_just_over_allowance_fails(self):
+        metric = _metric(rel=0.0, abs_=0.5)
+        diff = diff_metric(metric, 10.5000001, 10.0)
+        assert diff.status == "fail"
+        assert diff.margin < 0.0
+
+    def test_relative_edge_scales_with_golden(self):
+        metric = _metric(rel=0.1, abs_=0.0)
+        assert diff_metric(metric, 109.9, 100.0).ok
+        assert not diff_metric(metric, 110.1, 100.0).ok
+
+    def test_negative_golden_uses_magnitude(self):
+        metric = _metric(rel=0.1, abs_=0.0)
+        assert diff_metric(metric, -95.0, -100.0).ok
+        assert not diff_metric(metric, -89.0, -100.0).ok
+
+    def test_both_nan_is_agreement(self):
+        diff = diff_metric(_metric(), NAN, NAN)
+        assert diff.status == "pass"
+        assert math.isnan(diff.margin)
+
+    def test_nan_on_one_side_fails(self):
+        assert diff_metric(_metric(), NAN, 1.0).status == "nan-mismatch"
+        assert diff_metric(_metric(), 1.0, NAN).status == "nan-mismatch"
+
+
+class TestExperimentDiff:
+    def test_all_pass(self):
+        spec = _spec(_metric(name="a", rel=0.1))
+        diff = diff_experiment(spec, {"a": 1.04}, _golden(a=1.0), "fast")
+        assert diff.ok and diff.status == "pass"
+        assert diff.failures() == ()
+
+    def test_one_failure_fails_experiment(self):
+        spec = _spec(_metric(name="a", rel=0.01),
+                     _metric(name="b", rel=0.5))
+        diff = diff_experiment(spec, {"a": 2.0, "b": 1.0},
+                               _golden(a=1.0, b=1.0), "fast")
+        assert not diff.ok
+        assert [f.name for f in diff.failures()] == ["a"]
+
+    def test_missing_golden_is_unblessed(self):
+        spec = _spec(_metric(name="a"))
+        diff = diff_experiment(spec, {"a": 1.0}, None, "fast")
+        assert diff.status == "unblessed" and not diff.ok
+
+    def test_missing_mode_block_is_unblessed(self):
+        spec = _spec(_metric(name="a"))
+        diff = diff_experiment(spec, {"a": 1.0}, _golden(a=1.0), "full")
+        assert diff.status == "unblessed"
+
+    def test_metric_missing_from_run(self):
+        spec = _spec(_metric(name="a"))
+        diff = diff_experiment(spec, {}, _golden(a=1.0), "fast")
+        assert [f.status for f in diff.failures()] == ["missing-metric"]
+
+    def test_metric_new_in_run(self):
+        spec = _spec(_metric(name="a"), _metric(name="b"))
+        diff = diff_experiment(spec, {"a": 1.0, "b": 2.0},
+                               _golden(a=1.0), "fast")
+        assert [f.status for f in diff.failures()] == ["new-metric"]
+
+    def test_stale_golden_key_flagged(self):
+        spec = _spec(_metric(name="a"))
+        diff = diff_experiment(spec, {"a": 1.0},
+                               _golden(a=1.0, gone=3.0), "fast")
+        assert [(f.name, f.status) for f in diff.failures()] == [
+            ("gone", "missing-metric")]

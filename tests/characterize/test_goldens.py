@@ -1,0 +1,132 @@
+"""Golden IO: schema validation, NaN round-trip, bitwise re-bless."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.characterize.goldens import (
+    GOLDEN_SCHEMA,
+    bless_golden,
+    golden_path,
+    load_golden,
+    load_goldens,
+)
+from repro.characterize.specs import SPECS
+from repro.errors import GoldenError
+
+EID = "fig2"
+METRICS = {"vt_zero_offset_v": 0.295, "vt_offset02_v": float("nan")}
+COMMITTED = Path(__file__).resolve().parents[2] / "goldens"
+
+
+class TestBlessAndLoad:
+    def test_round_trip_restores_nan(self, tmp_path):
+        bless_golden(EID, "fast", METRICS, reason="seed", root=tmp_path)
+        golden = load_golden(EID, root=tmp_path)
+        block = golden["modes"]["fast"]
+        assert block["vt_zero_offset_v"] == 0.295
+        assert math.isnan(block["vt_offset02_v"])
+        assert golden["reason"] == "seed"
+
+    def test_nan_serializes_as_null(self, tmp_path):
+        path = bless_golden(EID, "fast", METRICS, reason="seed",
+                            root=tmp_path)
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == GOLDEN_SCHEMA
+        assert raw["modes"]["fast"]["vt_offset02_v"] is None
+
+    def test_re_bless_is_bitwise_stable(self, tmp_path):
+        path = bless_golden(EID, "fast", METRICS, reason="seed",
+                            root=tmp_path)
+        first = path.read_bytes()
+        bless_golden(EID, "fast", dict(METRICS), reason="seed",
+                     root=tmp_path)
+        assert path.read_bytes() == first
+
+    def test_blessing_one_mode_preserves_the_other(self, tmp_path):
+        bless_golden(EID, "fast", {"vt_zero_offset_v": 1.0},
+                     reason="a", root=tmp_path)
+        bless_golden(EID, "full", {"vt_zero_offset_v": 2.0},
+                     reason="b", root=tmp_path)
+        golden = load_golden(EID, root=tmp_path)
+        assert golden["modes"]["fast"]["vt_zero_offset_v"] == 1.0
+        assert golden["modes"]["full"]["vt_zero_offset_v"] == 2.0
+        assert golden["reason"] == "b"  # latest bless wins
+
+    def test_no_leftover_temp_file(self, tmp_path):
+        bless_golden(EID, "fast", METRICS, reason="seed", root=tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == [f"{EID}.json"]
+
+
+class TestValidation:
+    def test_reason_is_required(self, tmp_path):
+        with pytest.raises(GoldenError, match="reason"):
+            bless_golden(EID, "fast", METRICS, reason="  ",
+                         root=tmp_path)
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(GoldenError, match="unknown experiment"):
+            bless_golden("fig99", "fast", {}, reason="r", root=tmp_path)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(GoldenError, match="unknown mode"):
+            bless_golden(EID, "quick", METRICS, reason="r",
+                         root=tmp_path)
+
+    def test_undeclared_metric_rejected(self, tmp_path):
+        with pytest.raises(GoldenError, match="not.*declared"):
+            bless_golden(EID, "fast", {"bogus_metric": 1.0},
+                         reason="r", root=tmp_path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GoldenError, match="no golden"):
+            load_golden(EID, root=tmp_path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        golden_path(EID, tmp_path).write_text(
+            json.dumps({"schema": "repro-golden/999",
+                        "experiment": EID, "modes": {"fast": {}}}))
+        with pytest.raises(GoldenError, match="schema"):
+            load_golden(EID, root=tmp_path)
+
+    def test_experiment_mismatch_rejected(self, tmp_path):
+        golden_path(EID, tmp_path).write_text(
+            json.dumps({"schema": GOLDEN_SCHEMA, "experiment": "fig3",
+                        "modes": {"fast": {}}}))
+        with pytest.raises(GoldenError, match="claims experiment"):
+            load_golden(EID, root=tmp_path)
+
+    def test_non_numeric_metric_rejected(self, tmp_path):
+        golden_path(EID, tmp_path).write_text(
+            json.dumps({"schema": GOLDEN_SCHEMA, "experiment": EID,
+                        "modes": {"fast": {"vt_zero_offset_v": "x"}}}))
+        with pytest.raises(GoldenError, match="expected a number"):
+            load_golden(EID, root=tmp_path)
+
+    def test_load_goldens_skips_missing(self, tmp_path):
+        bless_golden(EID, "fast", METRICS, reason="r", root=tmp_path)
+        loaded = load_goldens(root=tmp_path)
+        assert set(loaded) == {EID}
+
+
+class TestCommittedGoldens:
+    """The goldens/ directory in the repository itself."""
+
+    def test_every_experiment_has_a_committed_golden(self):
+        loaded = load_goldens(root=COMMITTED)
+        assert set(loaded) == set(SPECS)
+
+    def test_committed_goldens_carry_fast_and_full(self):
+        for eid, golden in load_goldens(root=COMMITTED).items():
+            assert set(golden["modes"]) == {"fast", "full"}, eid
+            assert golden["reason"]
+
+    def test_committed_metrics_match_spec_declarations(self):
+        for eid, golden in load_goldens(root=COMMITTED).items():
+            declared = set(SPECS[eid].metric_names())
+            for mode, block in golden["modes"].items():
+                assert set(block) == declared, (eid, mode)

@@ -1,0 +1,105 @@
+"""Markdown renderer: determinism, glyphs, drift detection."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.characterize.goldens import bless_golden
+from repro.characterize.markdown import (
+    GLYPH_BLESSED,
+    GLYPH_QUARANTINED,
+    GLYPH_UNBLESSED,
+    docs_drift,
+    fmt_value,
+    render_all,
+    render_index,
+    render_page,
+    write_docs,
+)
+from repro.characterize.specs import SPECS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestFormatting:
+    def test_nan_renders_as_dash(self):
+        assert fmt_value(float("nan")) == "—"
+        assert fmt_value(None) == "—"
+
+    def test_plain_values(self):
+        assert fmt_value(0.295) == "0.295"
+        assert fmt_value(0) == "0"
+        assert fmt_value(2.7e9) == "2.7e+09"
+
+
+class TestRenderPage:
+    def test_unblessed_page_carries_glyph(self):
+        page = render_page(SPECS["fig2"], None)
+        assert GLYPH_UNBLESSED in page
+        assert "No golden blessed yet" in page
+
+    def test_blessed_page_shows_values_and_reason(self, tmp_path):
+        bless_golden("fig2", "fast", {"vt_zero_offset_v": 0.295},
+                     reason="why", root=tmp_path)
+        from repro.characterize.goldens import load_golden
+        page = render_page(SPECS["fig2"], load_golden("fig2",
+                                                      root=tmp_path))
+        assert "0.295" in page
+        assert "*why*" in page
+        assert GLYPH_BLESSED in page
+        # Metrics absent from the golden render as quarantined.
+        assert GLYPH_QUARANTINED in page
+
+    def test_render_is_deterministic(self, tmp_path):
+        bless_golden("fig2", "fast", {"vt_zero_offset_v": 0.295},
+                     reason="why", root=tmp_path)
+        first = render_all(golden_root=tmp_path)
+        second = render_all(golden_root=tmp_path)
+        assert first == second
+
+    def test_renders_one_page_per_experiment_plus_index(self):
+        pages = render_all(golden_root=REPO_ROOT / "goldens")
+        names = {p.name for p in pages}
+        assert names == {f"{eid}.md" for eid in SPECS} | {"index.md"}
+
+
+class TestIndex:
+    def test_index_links_every_experiment(self):
+        index = render_index({})
+        for eid in SPECS:
+            assert f"[{eid}]({eid}.md)" in index
+
+
+class TestDriftCheck:
+    def test_written_docs_have_no_drift(self, tmp_path):
+        golden_root = tmp_path / "goldens"
+        docs_root = tmp_path / "docs"
+        bless_golden("fig2", "fast", {"vt_zero_offset_v": 0.295},
+                     reason="r", root=golden_root)
+        write_docs(golden_root=golden_root, docs_root=docs_root)
+        assert docs_drift(golden_root=golden_root,
+                          docs_root=docs_root) == []
+
+    def test_edited_page_is_flagged(self, tmp_path):
+        golden_root = tmp_path / "goldens"
+        docs_root = tmp_path / "docs"
+        write_docs(golden_root=golden_root, docs_root=docs_root)
+        page = docs_root / "fig2.md"
+        page.write_text(page.read_text() + "edited\n")
+        drifted = docs_drift(golden_root=golden_root, docs_root=docs_root)
+        assert drifted == [page]
+
+    def test_missing_page_is_flagged(self, tmp_path):
+        golden_root = tmp_path / "goldens"
+        docs_root = tmp_path / "docs"
+        write_docs(golden_root=golden_root, docs_root=docs_root)
+        (docs_root / "index.md").unlink()
+        drifted = docs_drift(golden_root=golden_root, docs_root=docs_root)
+        assert drifted == [docs_root / "index.md"]
+
+    def test_committed_pages_match_regeneration(self):
+        # The acceptance-criterion check, in-process: committed
+        # docs/experiments/ must be bitwise identical to a re-render.
+        drifted = docs_drift(golden_root=REPO_ROOT / "goldens",
+                             docs_root=REPO_ROOT / "docs" / "experiments")
+        assert drifted == []

@@ -1,0 +1,67 @@
+"""Spec registry: alignment with the experiment registry, extractors."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.characterize.specs import SPECS, extract_ext_roughness
+from repro.reporting.experiments import EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_ids_match_experiment_registry_in_order(self):
+        assert list(SPECS) == list(EXPERIMENTS)
+
+    def test_spec_ids_self_consistent(self):
+        for eid, spec in SPECS.items():
+            assert spec.id == eid
+
+    def test_metric_names_unique_within_experiment(self):
+        for spec in SPECS.values():
+            names = spec.metric_names()
+            assert len(names) == len(set(names)), spec.id
+
+    def test_every_experiment_declares_metrics(self):
+        for spec in SPECS.values():
+            assert len(spec.metrics) >= 3, spec.id
+
+    def test_benchmark_files_exist(self):
+        for spec in SPECS.values():
+            assert (REPO_ROOT / spec.benchmark).is_file(), spec.benchmark
+
+    def test_metric_lookup(self):
+        spec = SPECS["fig2"]
+        assert spec.metric("vt_zero_offset_v").unit == "V"
+        try:
+            spec.metric("nope")
+        except KeyError as exc:
+            assert "fig2" in str(exc)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected KeyError")
+
+    def test_tolerances_are_sane(self):
+        for spec in SPECS.values():
+            for metric in spec.metrics:
+                assert metric.rel_tol >= 0.0
+                assert metric.abs_tol >= 0.0
+                assert metric.rel_tol + metric.abs_tol > 0.0, (
+                    spec.id, metric.name)
+
+
+class TestExtractors:
+    def test_missing_grid_cell_becomes_nan(self):
+        fom = extract_ext_roughness({"study": {}})
+        assert all(math.isnan(v) for v in fom.values())
+
+    def test_extractor_names_are_importable_from_benchmarks(self):
+        # The hoisted single-implementation contract: every bench file
+        # imports its figure-of-merit extractor from characterize.specs.
+        for spec in SPECS.values():
+            source = (REPO_ROOT / spec.benchmark).read_text(
+                encoding="utf-8")
+            assert spec.extract.__name__ in source, (
+                f"{spec.benchmark} does not use "
+                f"{spec.extract.__name__}")

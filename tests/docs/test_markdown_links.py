@@ -25,6 +25,7 @@ _EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
 def _markdown_files() -> list[Path]:
     files = sorted(REPO_ROOT.glob("*.md"))
     files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    files.extend(sorted((REPO_ROOT / "docs" / "experiments").glob("*.md")))
     return files
 
 
@@ -52,7 +53,10 @@ def test_scan_covers_the_new_docs_tree():
     names = {p.name for p in _markdown_files()}
     assert {"README.md", "DESIGN.md", "EXPERIMENTS.md", "architecture.md",
             "observability.md", "cli.md",
-            "experiments-workflow.md"} <= names
+            "experiments-workflow.md", "index.md"} <= names
+    # The generated per-experiment pages are scanned too.
+    assert sum(1 for p in _markdown_files()
+               if p.parent.name == "experiments") >= 15
 
 
 @pytest.mark.parametrize("md_file", _markdown_files(),
@@ -68,5 +72,11 @@ def test_intra_repo_links_resolve(md_file):
 def test_docs_pages_are_cross_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text()
     for page in ("docs/architecture.md", "docs/observability.md",
-                 "docs/cli.md", "docs/experiments-workflow.md"):
+                 "docs/cli.md", "docs/experiments-workflow.md",
+                 "docs/experiments/index.md"):
         assert page in readme, f"README.md does not link {page}"
+
+
+def test_generated_pages_are_cross_linked_from_architecture():
+    architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    assert "experiments/index.md" in architecture
