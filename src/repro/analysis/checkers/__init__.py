@@ -6,8 +6,9 @@ engine runs — RPA1xx determinism, RPA2xx units, RPA3xx layering,
 RPA4xx API contracts (annotations, defaults, frozen results, package
 docstrings), RPA5xx resilience (no broad exception handlers outside
 the recovery layer), and the dataflow families RPA6xx cache-key
-soundness, RPA7xx worker/parallel safety, RPA8xx hot-path hygiene —
-so `python -m repro.analysis` and `repro lint` agree on the rule set.
+soundness, RPA7xx worker/parallel safety, RPA8xx hot-path hygiene,
+RPA9xx scheduler-seam discipline — so `python -m repro.analysis` and
+`repro lint` agree on the rule set.
 Add new checkers here (``default_checkers``) and their codes surface
 automatically in ``all_codes`` / ``--list-codes``.
 """
@@ -21,6 +22,7 @@ from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.hotpath import HotPathChecker
 from repro.analysis.checkers.layering import LayeringChecker
 from repro.analysis.checkers.resilience import ResilienceChecker
+from repro.analysis.checkers.schedulers import SchedulerSeamChecker
 from repro.analysis.checkers.units import UnitsChecker
 from repro.analysis.checkers.workers import WorkerSafetyChecker
 
@@ -32,6 +34,7 @@ __all__ = [
     "HotPathChecker",
     "LayeringChecker",
     "ResilienceChecker",
+    "SchedulerSeamChecker",
     "UnitsChecker",
     "WorkerSafetyChecker",
     "all_codes",
@@ -43,7 +46,8 @@ def default_checkers() -> list[Checker]:
     """Fresh instances of every registered checker, in report order."""
     return [DeterminismChecker(), UnitsChecker(), LayeringChecker(),
             ContractsChecker(), ResilienceChecker(), CacheKeyChecker(),
-            WorkerSafetyChecker(), HotPathChecker()]
+            WorkerSafetyChecker(), HotPathChecker(),
+            SchedulerSeamChecker()]
 
 
 def all_codes() -> dict[str, str]:

@@ -31,6 +31,7 @@ from repro.characterize.runner import (
     run_manifest,
 )
 from repro.characterize.specs import SPECS
+from repro.characterize.trajectory import append_trajectory, trajectory_entry
 from repro.errors import GoldenError
 
 _GLYPH = {"pass": "ok", "fail": "FAIL", "nan-mismatch": "NAN-MISMATCH",
@@ -169,6 +170,11 @@ def _check_or_update(args: argparse.Namespace) -> int:
 
     renderer = render_text if args.format == "text" else render_json
     print(renderer(run))
+    failing = run.failing_ids()
+    append_trajectory(trajectory_entry(
+        "characterize", run.mode, run.ok, run.wall_s,
+        {"n_experiments": len(run.diffs), "n_fail": len(failing),
+         "failing": ",".join(failing)}))
     if obs.ACTIVE:
         manifest = run_manifest(run, ids)
         path = obs.write_manifest(manifest,

@@ -1,8 +1,10 @@
 """Characterization runner: execute experiments, extract, diff.
 
-Experiments run through :func:`repro.runtime.parallel_map` (which keeps
-deterministic ordering, drains worker observability payloads, and falls
-back to a serial loop when ``workers <= 1``), then each data dictionary
+Experiments run through a
+:class:`~repro.runtime.scheduler.LocalScheduler` (which keeps
+deterministic ordering, drains worker observability payloads, falls
+back to a serial loop when ``workers <= 1``, and recomputes the tasks
+of a crashed worker serially in the parent), then each data dictionary
 is reduced to figures of merit by its spec's extractor and diffed
 against the committed golden.  When tracing is active
 (:func:`repro.obs.enable` / ``REPRO_TRACE=1``) a per-run manifest is
@@ -21,7 +23,7 @@ from repro.characterize.diffing import ExperimentDiff, diff_experiment
 from repro.characterize.goldens import load_goldens
 from repro.characterize.specs import SPECS
 from repro.errors import GoldenError
-from repro.runtime import parallel_map
+from repro.runtime import LocalScheduler
 
 
 @dataclass(frozen=True)
@@ -81,7 +83,7 @@ def measure(ids: list[str], fast: bool = False,
             ) -> tuple[dict[str, dict[str, float]], dict[str, float]]:
     """Run experiments and return ``(measured, timings_s)`` by id."""
     items = [(eid, fast) for eid in ids]
-    results = parallel_map(_measure_one, items, workers=workers)
+    results = LocalScheduler(workers=workers).run(_measure_one, items)
     measured = {eid: metrics for eid, metrics, _ in results}
     timings = {eid: elapsed for eid, _, elapsed in results}
     return measured, timings

@@ -1,0 +1,102 @@
+"""Benchmark trajectory log: append-only run history in JSONL.
+
+Layer: inside :mod:`repro.characterize` (imports stdlib only).
+Responsibility: record one compact line per harness run — who ran
+(``repro characterize`` or a ``benchmarks/`` script), in which mode,
+whether it passed, and its headline numbers — so regressions are
+visible as a *time series* across commits, not just as the latest
+``BENCH_*.json`` snapshot.
+
+Format (one JSON object per line, schema ``repro-bench-trajectory/1``):
+
+``{"schema": "repro-bench-trajectory/1", "ts": "2026-08-08T12:00:00Z",
+"source": "characterize", "mode": "fast", "ok": true, "wall_s": 12.3,
+"metrics": {...}}``
+
+The file lives at the repository root (cwd-relative, like
+``goldens/``) and is pruned to the most recent
+:data:`MAX_ENTRIES` lines on every append, so it stays reviewable in
+diffs.  Lines whose schema is unknown are preserved verbatim during
+pruning — newer writers must not destroy older history.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Mapping
+
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/1"
+
+#: cwd-relative, like ``goldens/`` — run tools from the repo root.
+TRAJECTORY_PATH = Path("BENCH_trajectory.jsonl")
+
+#: Pruning bound: the log keeps the most recent entries only.
+MAX_ENTRIES = 200
+
+
+def trajectory_entry(source: str, mode: str, ok: bool, wall_s: float,
+                     metrics: Mapping[str, float | int | str | bool],
+                     ) -> dict:
+    """One schema-stamped trajectory record (not yet written)."""
+    ts = datetime.now(timezone.utc)  # repro: noqa[RPA103] log timestamp
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "ts": ts.strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "source": source,
+        "mode": mode,
+        "ok": bool(ok),
+        "wall_s": round(float(wall_s), 3),
+        "metrics": dict(metrics),
+    }
+
+
+def append_trajectory(entry: Mapping[str, object],
+                      path: Path | None = None) -> Path:
+    """Append ``entry`` to the JSONL log and prune to ``MAX_ENTRIES``.
+
+    Returns the path written.  The read-modify-write is wholesale (the
+    file is bounded at ``MAX_ENTRIES`` small lines, so rewriting is
+    cheap) and tolerant of a corrupt line: unparseable lines are kept
+    as-is rather than silently dropped.
+    """
+    target = TRAJECTORY_PATH if path is None else path
+    lines: list[str] = []
+    if target.exists():
+        lines = [ln for ln in
+                 target.read_text(encoding="utf-8").splitlines()
+                 if ln.strip()]
+    lines.append(json.dumps(entry, sort_keys=True))
+    lines = lines[-MAX_ENTRIES:]
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return target
+
+
+def read_trajectory(path: Path | None = None) -> list[dict]:
+    """Parse the log; unparseable lines are skipped, not fatal."""
+    target = TRAJECTORY_PATH if path is None else path
+    if not target.exists():
+        return []
+    entries: list[dict] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(parsed, dict):
+            entries.append(parsed)
+    return entries
+
+
+__all__ = [
+    "MAX_ENTRIES",
+    "TRAJECTORY_PATH",
+    "TRAJECTORY_SCHEMA",
+    "append_trajectory",
+    "read_trajectory",
+    "trajectory_entry",
+]

@@ -29,6 +29,12 @@ exporting ``REPRO_STRICT`` / ``REPRO_CHECKPOINT`` / ``REPRO_RESUME`` /
 the device sweeps (:mod:`repro.device.engines`, exporting
 ``REPRO_ENGINE``) and ``--backend`` the array backend behind the NEGF
 kernels (:mod:`repro.runtime.backend`, exporting ``REPRO_BACKEND``).
+``--adaptive`` / ``--refine-levels`` / ``--mc-target-ci`` switch the
+fig3/fig6 experiments onto the adaptive engines
+(:mod:`repro.exploration.adaptive`,
+:mod:`repro.variability.adaptive`; exporting ``REPRO_ADAPTIVE`` /
+``REPRO_REFINE_LEVELS`` / ``REPRO_MC_TARGET_CI`` — see
+``docs/performance.md``).
 ``repro trace summarize`` renders a manifest as a human-readable
 summary (or a condensed JSON document).
 """
@@ -48,8 +54,10 @@ from repro.analysis.cli import main as lint_main
 from repro.characterize.cli import build_parser as build_characterize_parser
 from repro.characterize.cli import main as characterize_main
 from repro.device.engines import ENGINE_ENV, ENGINES
+from repro.exploration.adaptive import ADAPTIVE_ENV, REFINE_LEVELS_ENV
 from repro.runtime.backend import BACKEND_ENV, BACKEND_NAMES
 from repro.reporting.experiments import EXPERIMENTS, run_experiment
+from repro.variability.adaptive import MC_TARGET_CI_ENV
 from repro.runtime import (
     CHECKPOINT_ENV,
     FAULTS_ENV,
@@ -86,6 +94,12 @@ def _apply_runtime_flags(args) -> None:
         os.environ[FAULTS_ENV] = str(args.faults)
         from repro.runtime import faults as _faults
         _faults.enable(str(args.faults))
+    if getattr(args, "adaptive", False):
+        os.environ[ADAPTIVE_ENV] = "1"
+    if getattr(args, "refine_levels", None) is not None:
+        os.environ[REFINE_LEVELS_ENV] = str(args.refine_levels)
+    if getattr(args, "mc_target_ci", None) is not None:
+        os.environ[MC_TARGET_CI_ENV] = str(args.mc_target_ci)
     if getattr(args, "engine", None):
         os.environ[ENGINE_ENV] = str(args.engine)
     if getattr(args, "backend", None):
@@ -220,6 +234,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "'scf@3,17x2;worker@1' "
                             "(equivalent to REPRO_FAULTS=SPEC; testing "
                             "aid — see docs/robustness.md)")
+    p_run.add_argument("--adaptive", action="store_true",
+                       help="adaptive engines: contour-guided V_DD-V_T "
+                            "refinement for fig3, variance-adaptive "
+                            "Monte Carlo for fig6 "
+                            "(equivalent to REPRO_ADAPTIVE=1)")
+    p_run.add_argument("--refine-levels", type=int, default=None,
+                       metavar="L",
+                       help="coarse stride 2**L for --adaptive "
+                            "refinement (default: auto; equivalent to "
+                            "REPRO_REFINE_LEVELS=L)")
+    p_run.add_argument("--mc-target-ci", type=float, default=None,
+                       metavar="CI",
+                       help="relative bootstrap CI half-width at which "
+                            "the adaptive Monte Carlo stops (default "
+                            "0.05 with --adaptive; equivalent to "
+                            "REPRO_MC_TARGET_CI=CI)")
     p_run.add_argument("--engine", choices=ENGINES, default=None,
                        help="transport engine for device sweeps "
                             "(equivalent to REPRO_ENGINE=NAME; default "

@@ -6,7 +6,7 @@ catch simulation problems without masking programming errors.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 
 class ReproError(Exception):
@@ -95,20 +95,30 @@ class ParallelMapError(ReproError):
         computed).
     chunk_size:
         Items per chunk (the last chunk may be shorter), so callers can
-        map chunk indices back to item indices.
+        map chunk indices back to item indices.  Only meaningful for
+        uniform chunking; see ``chunk_offsets``.
+    chunk_offsets:
+        Start item index of each chunk, or ``None`` for uniform
+        chunking.  Set when the dispatch used an explicit per-chunk
+        size plan (work-stealing-style decreasing chunks), in which
+        case ``chunk_offsets[k]`` — not ``k * chunk_size`` — maps chunk
+        ``k`` back to its first item.
     """
 
     def __init__(self, message: str,
                  completed: Mapping[int, list] | None = None,
                  failed: Mapping[int, str] | None = None,
                  n_chunks: int = 0, n_cancelled: int = 0,
-                 chunk_size: int = 1):
+                 chunk_size: int = 1,
+                 chunk_offsets: Sequence[int] | None = None):
         super().__init__(message)
         self.completed: dict[int, list] = dict(completed or {})
         self.failed: dict[int, str] = dict(failed or {})
         self.n_chunks = n_chunks
         self.n_cancelled = n_cancelled
         self.chunk_size = chunk_size
+        self.chunk_offsets: tuple[int, ...] | None = (
+            None if chunk_offsets is None else tuple(chunk_offsets))
 
 
 class CheckpointError(ReproError):

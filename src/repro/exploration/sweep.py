@@ -16,14 +16,14 @@ import numpy as np
 from repro import obs
 from repro.circuit.inverter import inverter_snm
 from repro.circuit.ring_oscillator import estimate_ring_oscillator
-from repro.errors import AnalysisError, ConvergenceError, ParallelMapError
+from repro.errors import AnalysisError, ConvergenceError
 from repro.exploration.technology import GNRFETTechnology
 from repro.runtime import (
     FailureRecord,
+    Scheduler,
     in_worker,
-    parallel_map,
     quarantine,
-    recover_parallel,
+    resolve_scheduler,
     strict_default,
 )
 from repro.runtime import faults
@@ -87,8 +87,15 @@ def _explore_vt_row(tech: GNRFETTechnology, vdd_grid: np.ndarray,
             exc.with_context(vt=float(vt)), site="exploration", index=i,
             coords=(i,), bias={"vt": float(vt)}))
         return freq, edp, snm, p_tot, p_stat, failures
+    n_skipped = 0
     for j, vdd in enumerate(vdd_grid):
         vdd = float(vdd)
+        if vt >= vdd:
+            # No gate overdrive anywhere in the swing: the oscillator
+            # estimate cannot produce a usable operating point, so the
+            # cell stays NaN without paying for the estimate.
+            n_skipped += 1
+            continue
         try:
             m = estimate_ring_oscillator(nt, pt, vdd, n_stages, tech.params)
         except AnalysisError:
@@ -99,6 +106,8 @@ def _explore_vt_row(tech: GNRFETTechnology, vdd_grid: np.ndarray,
         p_stat[j] = m.static_power_w
         if with_snm:
             snm[j] = inverter_snm(nt, pt, vdd, tech.params)
+    if obs.ACTIVE and n_skipped:
+        obs.incr("exploration.invalid_cells_skipped", n_skipped)
     return freq, edp, snm, p_tot, p_stat, failures
 
 
@@ -111,6 +120,7 @@ def sweep_vdd_vt(
     snm_points: int = 41,
     workers: int | None = None,
     strict: bool | None = None,
+    scheduler: Scheduler | None = None,
 ) -> ExplorationGrid:
     """Quasi-static sweep of RO metrics and inverter SNM.
 
@@ -123,7 +133,11 @@ def sweep_vdd_vt(
     ``strict`` (default from ``REPRO_STRICT``) re-raises the first
     exhausted device-table build; otherwise the affected V_T row is
     NaN-masked and recorded on ``failures``.  A crashed worker process
-    costs only its undelivered rows, which are recomputed in-process.
+    costs only its undelivered rows, which are recomputed in-process
+    by the scheduler (``scheduler`` defaults to a
+    :class:`~repro.runtime.scheduler.LocalScheduler`; the seam exists
+    so adaptive refinement and future distributed dispatch share this
+    exact code path).
     """
     vt_grid = np.asarray(vt_grid, dtype=float)
     vdd_grid = np.asarray(vdd_grid, dtype=float)
@@ -139,14 +153,10 @@ def sweep_vdd_vt(
     tasks = [(int(i), float(vt)) for i, vt in enumerate(vt_grid)]
     fn = partial(_explore_vt_row, tech, vdd_grid, n_stages, with_snm,
                  strict)
+    sched = resolve_scheduler(scheduler, workers=workers)
     with obs.span("exploration.sweep_vdd_vt",
                   grid=f"{vt_grid.size}x{vdd_grid.size}"):
-        try:
-            rows = parallel_map(fn, tasks, workers=workers)
-        except ParallelMapError as err:
-            if strict:
-                raise
-            rows = recover_parallel(err, fn, tasks)
+        rows = sched.run(fn, tasks, strict=strict)
     for i, (f_row, e_row, s_row, pt_row, ps_row, row_failures)             in enumerate(rows):
         freq[i] = f_row
         edp[i] = e_row

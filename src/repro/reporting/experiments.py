@@ -17,6 +17,7 @@ import numpy as np
 from repro.circuit.inverter import inverter_snm
 from repro.constants import ROOM_TEMPERATURE_K
 from repro.device.geometry import ChargeImpurity, GNRFETGeometry
+from repro.exploration.adaptive import adaptive_enabled, refine_vdd_vt
 from repro.device.iv import sweep_iv
 from repro.device.negf_device import NEGFDevice
 from repro.device.vt_extraction import extract_vt_linear
@@ -32,6 +33,10 @@ from repro.exploration.technology import GNRFETTechnology
 from repro.reporting.ascii_plot import ascii_histogram, ascii_line_plot
 from repro.reporting.figures import FigureSeries
 from repro.reporting.tables import format_pct_pair, format_table
+from repro.variability.adaptive import (
+    mc_target_ci_default,
+    run_ring_oscillator_monte_carlo_adaptive,
+)
 from repro.variability.combined import combined_variation_study
 from repro.variability.impurity import charge_impurity_study
 from repro.variability.latch_study import latch_variability_study
@@ -97,7 +102,12 @@ def run_fig3(fast: bool = False) -> tuple[str, dict]:
     else:
         vt_grid = np.linspace(0.02, 0.30, 15)
         vdd_grid = np.linspace(0.10, 0.70, 13)
-    grid = sweep_vdd_vt(tech, vt_grid, vdd_grid)
+    adaptive = None
+    if adaptive_enabled():
+        adaptive = refine_vdd_vt(tech, vt_grid, vdd_grid)
+        grid = adaptive.grid
+    else:
+        grid = sweep_vdd_vt(tech, vt_grid, vdd_grid)
 
     opt = min_edp_point(grid)
     point_a = min_edp_at_frequency(grid, 3e9)
@@ -132,7 +142,8 @@ def run_fig3(fast: bool = False) -> tuple[str, dict]:
     return report, {"grid": grid, "optimum": opt, "A": point_a,
                     "B": point_b, "snm_floor": snm_floor,
                     "edp_contours": contours,
-                    "frequency_contours": freq_contours}
+                    "frequency_contours": freq_contours,
+                    "adaptive": adaptive}
 
 
 # --------------------------------------------------------------------- #
@@ -287,8 +298,14 @@ def run_table4(fast: bool = False) -> tuple[str, dict]:
 def run_fig6(fast: bool = False) -> tuple[str, dict]:
     """Fig. 6: Monte Carlo distributions of the ring oscillator."""
     tech = nominal_technology()
-    result = run_ring_oscillator_monte_carlo(
-        tech, n_samples=200 if fast else 2000)
+    n_samples = 200 if fast else 2000
+    target_ci = mc_target_ci_default()
+    if adaptive_enabled() or target_ci is not None:
+        result = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=n_samples,
+            target_ci=0.05 if target_ci is None else target_ci)
+    else:
+        result = run_ring_oscillator_monte_carlo(tech, n_samples=n_samples)
     report = "\n\n".join([
         ascii_histogram(result.frequencies_hz / 1e9, title=(
             "Fig 6: frequency (GHz); nominal "

@@ -68,10 +68,17 @@ from repro.runtime.parallel import (
     WORKERS_ENV,
     batch_indices,
     default_chunk_size,
+    guided_chunk_plan,
     in_worker,
     parallel_map,
     resolve_workers,
     spawn_seed_sequences,
+)
+from repro.runtime.scheduler import (
+    LocalScheduler,
+    Scheduler,
+    resolve_scheduler,
+    scheduler_kind,
 )
 from repro.runtime.resilience import (
     CHECKPOINT_ENV,
@@ -97,10 +104,12 @@ __all__ = [
     "CHECKPOINT_ENV",
     "FAULTS_ENV",
     "FailureRecord",
+    "LocalScheduler",
     "NO_CACHE_ENV",
     "NO_WARMSTART_ENV",
     "RESUME_ENV",
     "STRICT_ENV",
+    "Scheduler",
     "SweepCheckpoint",
     "TABLE_ENGINE_VERSION",
     "WORKERS_ENV",
@@ -117,12 +126,15 @@ __all__ = [
     "clear_all",
     "content_key",
     "default_chunk_size",
+    "guided_chunk_plan",
     "in_worker",
     "parallel_map",
     "quarantine",
     "recover_parallel",
+    "resolve_scheduler",
     "resolve_workers",
     "resume_enabled",
+    "scheduler_kind",
     "run_ladder",
     "spawn_seed_sequences",
     "stacked_identity",

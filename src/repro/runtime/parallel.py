@@ -99,11 +99,34 @@ def default_chunk_size(n_items: int, workers: int,
     return max(1, math.ceil(n_items / max(1, workers * chunks_per_worker)))
 
 
+def guided_chunk_plan(n_items: int, workers: int) -> list[int]:
+    """Decreasing chunk sizes in the guided-self-scheduling style.
+
+    Each chunk takes ``ceil(remaining / (2 * workers))`` items (never
+    below 1): early chunks are large to amortize dispatch overhead,
+    late chunks shrink so stragglers cannot leave workers idle — the
+    work-stealing effect without a shared queue.  The plan depends only
+    on ``(n_items, workers)``, so the *partitioning* is deterministic;
+    per-item results never depend on it.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    plan: list[int] = []
+    remaining = int(n_items)
+    workers = max(1, int(workers))
+    while remaining > 0:
+        size = max(1, math.ceil(remaining / (2 * workers)))
+        plan.append(size)
+        remaining -= size
+    return plan
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: int | None = None,
     chunk_size: int | None = None,
+    chunk_plan: Sequence[int] | None = None,
 ) -> list[R]:
     """``[fn(x) for x in items]`` across a process pool.
 
@@ -111,6 +134,10 @@ def parallel_map(
     ``fn`` and the items must be picklable when ``workers > 1`` (i.e.
     ``fn`` must be a module-level function or a :func:`functools.partial`
     of one).
+
+    ``chunk_plan`` (mutually exclusive with ``chunk_size``) gives the
+    explicit size of every chunk in order, e.g. from
+    :func:`guided_chunk_plan`; the sizes must sum to ``len(items)``.
 
     Failure contract: on the serial path the item's exception propagates
     unchanged.  On the pooled path a chunk failure (worker exception or
@@ -124,13 +151,31 @@ def parallel_map(
     """
     items = list(items)
     workers = resolve_workers(workers)
+    if chunk_plan is not None:
+        if chunk_size is not None:
+            raise ValueError("pass chunk_size or chunk_plan, not both")
+        if sum(chunk_plan) != len(items) or any(s < 1 for s in chunk_plan):
+            raise ValueError(
+                f"chunk_plan {list(chunk_plan)!r} does not partition "
+                f"{len(items)} item(s)")
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
 
-    if chunk_size is None:
-        chunk_size = default_chunk_size(len(items), workers)
-    chunks = [items[i:i + chunk_size]
-              for i in range(0, len(items), chunk_size)]
+    if chunk_plan is not None:
+        offsets: list[int] | None = []
+        chunks = []
+        start = 0
+        for size in chunk_plan:
+            offsets.append(start)
+            chunks.append(items[start:start + size])
+            start += size
+        chunk_size = chunk_plan[0]
+    else:
+        offsets = None
+        if chunk_size is None:
+            chunk_size = default_chunk_size(len(items), workers)
+        chunks = [items[i:i + chunk_size]
+                  for i in range(0, len(items), chunk_size)]
 
     with obs.span("runtime.parallel_map", workers=workers,
                   items=len(items), chunks=len(chunks)):
@@ -179,7 +224,8 @@ def parallel_map(
                            if r is not None},
                 failed={k: repr(e) for k, e in sorted(failed.items())},
                 n_chunks=len(chunks), n_cancelled=n_cancelled,
-                chunk_size=chunk_size) from failed[first]
+                chunk_size=chunk_size,
+                chunk_offsets=offsets) from failed[first]
         return [r for chunk in results
                 for r in chunk]  # type: ignore[union-attr]
 

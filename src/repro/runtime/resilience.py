@@ -247,7 +247,10 @@ def recover_parallel(err: ParallelMapError, fn: Callable[[Any], T],
     results: list[T | None] = [None] * len(tasks)
     delivered = np.zeros(len(tasks), dtype=bool)
     for k, chunk_results in err.completed.items():
-        start = k * err.chunk_size
+        # Explicit chunk offsets (guided/dynamic plans) take precedence;
+        # uniform chunking keeps the k * chunk_size arithmetic.
+        start = (err.chunk_offsets[k] if err.chunk_offsets is not None
+                 else k * err.chunk_size)
         for offset, value in enumerate(chunk_results):
             results[start + offset] = value
             delivered[start + offset] = True

@@ -45,20 +45,20 @@ from repro import obs
 from repro.circuit.ring_oscillator import simulate_ring_oscillator
 from repro.device.engines import engine_version, resolve_engine
 from repro.device.tables import DeviceTable
-from repro.errors import ConvergenceError, ParallelMapError
+from repro.errors import ConvergenceError
 from repro.exploration.technology import GNRFETTechnology
 from repro.runtime import (
     TABLE_ENGINE_VERSION,
     FailureRecord,
+    Scheduler,
     SweepCheckpoint,
     backend_name,
     batch_indices,
     checkpoint_interval,
     content_key,
     in_worker,
-    parallel_map,
     quarantine,
-    recover_parallel,
+    resolve_scheduler,
     resolve_workers,
     resume_enabled,
     spawn_seed_sequences,
@@ -172,14 +172,16 @@ class _RibbonCache:
         return self._data[key]
 
     def prefetch(self, variants: list[DeviceVariant],
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 scheduler: Scheduler | None = None) -> None:
         """Populate every (variant, polarity) entry, optionally fanning
         the expensive table builds across worker processes."""
         keys = [(v, pol) for v in dict.fromkeys(variants)
                 for pol in (+1, -1) if (v, pol) not in self._data]
-        for key, data in parallel_map(
+        sched = resolve_scheduler(scheduler, workers=workers)
+        for key, data in sched.run(
                 partial(_ribbon_task, self.tech, self.offset, self.vdd),
-                keys, workers=workers):
+                keys):
             self._data[key] = data
 
     @property
@@ -333,6 +335,7 @@ def run_ring_oscillator_monte_carlo(
     strict: bool | None = None,  # repro: nokey[RPA601] failure policy only; surviving samples agree either way
     checkpoint: int | None = None,  # repro: nokey[RPA601] snapshot cadence only, not sample content
     resume: bool | None = None,  # repro: nokey[RPA601] whether to load the checkpoint this key names, not what it holds
+    scheduler: Scheduler | None = None,  # repro: nokey[RPA601] dispatch policy; schedulers must return [fn(t) for t in tasks]
 ) -> MonteCarloResult:
     """Fig. 6: sample width/impurity variations of every inverter.
 
@@ -368,6 +371,7 @@ def run_ring_oscillator_monte_carlo(
                 else max(0, int(checkpoint)))
     resume = resume_enabled() if resume is None else resume
     n_workers = resolve_workers(workers)
+    sched = resolve_scheduler(scheduler, workers=workers)
     cache = _RibbonCache(tech, vdd, vt)
     n_ribbons = tech.params.n_ribbons
 
@@ -377,7 +381,7 @@ def run_ring_oscillator_monte_carlo(
     reachable = [nominal_variant] + [
         DeviceVariant(n_index=n, impurity_e=q)
         for n in width_levels for q in charge_levels]
-    cache.prefetch(reachable, workers=workers)
+    cache.prefetch(reachable, workers=workers, scheduler=scheduler)
 
     nom_n = cache.device([cache.ribbon(nominal_variant, +1)] * n_ribbons)
     nom_p = cache.device([cache.ribbon(nominal_variant, -1)] * n_ribbons)
@@ -478,13 +482,8 @@ def run_ring_oscillator_monte_carlo(
                 store(task, eval_fn(task))
                 save_checkpoint()
         else:
-            try:
-                results = parallel_map(eval_fn, tasks, workers=workers,
-                                       chunk_size=1)
-            except ParallelMapError as err:
-                if strict:
-                    raise
-                results = recover_parallel(err, eval_fn, tasks)
+            results = sched.run(eval_fn, tasks, strict=strict,
+                                chunk_size=1)
             for task, result in zip(tasks, results):
                 store(task, result)
     else:
@@ -493,13 +492,8 @@ def run_ring_oscillator_monte_carlo(
         wave_size = max(1, n_workers)
         for w in range(0, len(tasks), wave_size):
             wave = tasks[w:w + wave_size]
-            try:
-                results = parallel_map(eval_fn, wave, workers=workers,
-                                       chunk_size=1)
-            except ParallelMapError as err:
-                if strict:
-                    raise
-                results = recover_parallel(err, eval_fn, wave)
+            results = sched.run(eval_fn, wave, strict=strict,
+                                chunk_size=1)
             for task, result in zip(wave, results):
                 store(task, result)
             save_checkpoint()

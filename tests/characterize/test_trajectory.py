@@ -1,0 +1,57 @@
+"""Tests for the append-only benchmark trajectory log."""
+
+import json
+
+from repro.characterize.trajectory import (
+    MAX_ENTRIES,
+    TRAJECTORY_SCHEMA,
+    append_trajectory,
+    read_trajectory,
+    trajectory_entry,
+)
+
+
+class TestEntry:
+    def test_schema_and_fields(self):
+        entry = trajectory_entry("characterize", "fast", True, 12.345678,
+                                 {"n_fail": 0})
+        assert entry["schema"] == TRAJECTORY_SCHEMA
+        assert entry["source"] == "characterize"
+        assert entry["mode"] == "fast"
+        assert entry["ok"] is True
+        assert entry["wall_s"] == 12.346
+        assert entry["metrics"] == {"n_fail": 0}
+        # ISO-8601 UTC, second resolution
+        assert entry["ts"].endswith("Z") and "T" in entry["ts"]
+
+
+class TestAppendAndPrune:
+    def test_appends_one_line_per_entry(self, tmp_path):
+        path = tmp_path / "traj.jsonl"
+        for k in range(3):
+            append_trajectory(
+                trajectory_entry("bench", "full", True, k, {"k": k}), path)
+        entries = read_trajectory(path)
+        assert [e["metrics"]["k"] for e in entries] == [0, 1, 2]
+
+    def test_prunes_to_max_entries(self, tmp_path):
+        path = tmp_path / "traj.jsonl"
+        for k in range(MAX_ENTRIES + 25):
+            append_trajectory({"schema": TRAJECTORY_SCHEMA, "k": k}, path)
+        entries = read_trajectory(path)
+        assert len(entries) == MAX_ENTRIES
+        assert entries[0]["k"] == 25      # oldest dropped
+        assert entries[-1]["k"] == MAX_ENTRIES + 24
+
+    def test_unparseable_lines_survive_appends(self, tmp_path):
+        path = tmp_path / "traj.jsonl"
+        path.write_text("not json at all\n")
+        append_trajectory({"schema": TRAJECTORY_SCHEMA, "k": 1}, path)
+        raw = path.read_text().splitlines()
+        assert raw[0] == "not json at all"
+        assert json.loads(raw[1])["k"] == 1
+        # ...but the reader skips them
+        assert [e["k"] for e in read_trajectory(path)] == [1]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_trajectory(tmp_path / "absent.jsonl") == []

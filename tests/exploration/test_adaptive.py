@@ -1,0 +1,158 @@
+"""Determinism and economy of the adaptive V_DD-V_T refinement."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import CheckpointError
+from repro.exploration.adaptive import (
+    auto_levels,
+    coarse_indices,
+    refine_vdd_vt,
+)
+from repro.exploration.operating_point import (
+    min_edp_at_frequency,
+    min_edp_at_frequency_and_snm,
+    min_edp_point,
+)
+from repro.exploration.sweep import sweep_vdd_vt
+from repro.runtime import faults
+
+# The fast Fig. 3 grid: large enough for two refinement levels, small
+# enough for test time.  8 V_T rows x 8 V_DD columns = 64 cells.
+VT = np.linspace(0.02, 0.3, 8)
+VDD = np.linspace(0.1, 0.7, 8)
+
+ARRAYS = ("frequency_hz", "edp_j_s", "snm_v", "total_power_w",
+          "static_power_w")
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    faults.disable()
+    obs.reset()
+    yield
+    faults.disable()
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def adaptive(tech):
+    faults.disable()
+    return refine_vdd_vt(tech, VT, VDD)
+
+
+@pytest.fixture(scope="module")
+def dense(tech):
+    faults.disable()
+    return sweep_vdd_vt(tech, VT, VDD)
+
+
+def _assert_same_result(a, b):
+    for name in ARRAYS:
+        assert np.array_equal(getattr(a.grid, name),
+                              getattr(b.grid, name),
+                              equal_nan=True), name
+    assert np.array_equal(a.solved, b.solved)
+    assert a.n_solves == b.n_solves
+    assert a.n_waves == b.n_waves
+    assert a.grid.failures == b.grid.failures
+
+
+class TestLattice:
+    def test_coarse_indices_keep_edges(self):
+        assert coarse_indices(8, 4) == [0, 4, 7]
+        assert coarse_indices(9, 4) == [0, 4, 8]
+        assert coarse_indices(3, 8) == [0, 2]
+
+    def test_auto_levels_needs_three_points_per_axis(self):
+        assert auto_levels(8, 8) == 2    # stride 4 -> [0, 4, 7]
+        assert auto_levels(15, 13) == 3  # stride 8 -> [0, 8, 14]
+        assert auto_levels(3, 3) == 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_serial_equals_parallel_bitwise(self, tech, adaptive, workers):
+        parallel = refine_vdd_vt(tech, VT, VDD, workers=workers)
+        _assert_same_result(parallel, adaptive)
+
+    def test_kill_then_resume_bitwise(self, tech, adaptive):
+        # The first run dies on its second snapshot write (the save
+        # after the first refinement wave); the resumed run restores
+        # the coarse memo and replays the rest of the schedule bitwise.
+        faults.enable("checkpoint@1")
+        with pytest.raises(CheckpointError):
+            refine_vdd_vt(tech, VT, VDD, checkpoint=1)
+        faults.disable()
+        obs.enable()
+        resumed = refine_vdd_vt(tech, VT, VDD, checkpoint=1, resume=True)
+        _assert_same_result(resumed, adaptive)
+        counters = obs.snapshot()["counters"]
+        assert counters["resilience.checkpoint_resumes"] == 1
+        assert counters["adaptive.cells_restored"] > 0
+
+    def test_completed_run_clears_checkpoint(self, tech, adaptive):
+        finished = refine_vdd_vt(tech, VT, VDD, checkpoint=1)
+        resumed = refine_vdd_vt(tech, VT, VDD, checkpoint=1, resume=True)
+        # Nothing left to restore: the clean run cleared its snapshot.
+        _assert_same_result(finished, adaptive)
+        _assert_same_result(resumed, adaptive)
+
+
+class TestAccuracy:
+    def test_solved_cells_match_dense_bitwise(self, adaptive, dense):
+        mask = adaptive.solved & ~adaptive.invalid
+        for name in ARRAYS:
+            a = getattr(adaptive.grid, name)[mask]
+            d = getattr(dense, name)[mask]
+            assert np.array_equal(a, d, equal_nan=True), name
+
+    def test_figures_of_merit_match_dense(self, adaptive, dense):
+        for grid_fn in (
+                min_edp_point,
+                lambda g: min_edp_at_frequency(g, 3e9),
+                lambda g: min_edp_at_frequency_and_snm(
+                    g, 3e9, 0.6 * float(np.nanmax(g.snm_v)))):
+            a = grid_fn(adaptive.grid)
+            d = grid_fn(dense)
+            assert (a.vt, a.vdd) == (d.vt, d.vdd)
+            assert a.frequency_hz == d.frequency_hz
+            assert a.edp_j_s == d.edp_j_s
+
+    def test_fill_extends_beyond_solved_cells(self, adaptive):
+        # Every unsolved valid cell with a solved row- or column-bracket
+        # is interpolated; the invalid wedge stays NaN.  Most of the
+        # plane ends up covered even though only a fraction was solved.
+        valid = ~adaptive.invalid
+        finite = np.isfinite(adaptive.grid.frequency_hz)
+        n_solved = int((adaptive.solved & valid).sum())
+        assert int((finite & valid).sum()) > n_solved
+        assert finite[valid].mean() >= 0.6
+        assert np.all(np.isnan(adaptive.grid.frequency_hz[~valid]))
+
+    def test_interpolation_never_undershoots_edp(self, adaptive):
+        # The argmin safety property: filled cells cannot dip below the
+        # solved minimum, so reported optima sit on solved physics.
+        solved_min = np.nanmin(
+            adaptive.grid.edp_j_s[adaptive.solved & ~adaptive.invalid])
+        assert np.nanmin(adaptive.grid.edp_j_s) >= solved_min - 0.0
+
+
+class TestEconomy:
+    def test_fraction_of_dense_solves(self, adaptive):
+        assert adaptive.n_solves < adaptive.n_valid
+        assert adaptive.solves_saved == (adaptive.n_valid
+                                         - adaptive.n_solves)
+        assert adaptive.n_solves == (adaptive.n_coarse
+                                     + adaptive.n_refined
+                                     + adaptive.n_polish)
+
+    def test_observability_counters(self, tech):
+        obs.enable()
+        refine_vdd_vt(tech, VT, VDD)
+        counters = obs.snapshot()["counters"]
+        assert counters["adaptive.waves"] >= 1
+        assert counters["adaptive.cells_refined"] >= 1
+        assert counters["adaptive.solves_saved"] > 0

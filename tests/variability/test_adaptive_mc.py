@@ -1,0 +1,118 @@
+"""Prefix property and stopping rule of the adaptive Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import CheckpointError
+from repro.runtime import faults
+from repro.variability.adaptive import (
+    run_ring_oscillator_monte_carlo_adaptive,
+)
+from repro.variability.montecarlo import run_ring_oscillator_monte_carlo
+
+SAMPLE_ARRAYS = ("frequencies_hz", "dynamic_power_w", "static_power_w")
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    faults.disable()
+    obs.reset()
+    yield
+    faults.disable()
+    obs.disable()
+    obs.reset()
+
+
+class TestPrefixProperty:
+    def test_early_stop_is_prefix_of_fixed_run(self, tech):
+        """Stopping at n < n_max yields bit-for-bit the first n samples
+        of the fixed-count run with the same seed."""
+        fixed = run_ring_oscillator_monte_carlo(tech, n_samples=60)
+        adaptive = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=60, target_ci=0.4, batch=10)
+        assert adaptive.converged
+        assert 20 <= adaptive.n_used < 60
+        n = adaptive.n_used
+        for name in SAMPLE_ARRAYS:
+            assert np.array_equal(getattr(adaptive, name),
+                                  getattr(fixed, name)[:n],
+                                  equal_nan=True), name
+        assert (adaptive.nominal_frequency_hz
+                == fixed.nominal_frequency_hz)
+
+    def test_unconverged_budget_degenerates_to_fixed_run(self, tech):
+        """A target the budget cannot certify runs to n_max and equals
+        the fixed-count study bitwise."""
+        fixed = run_ring_oscillator_monte_carlo(tech, n_samples=40)
+        adaptive = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=40, target_ci=0.01, batch=10)
+        assert not adaptive.converged
+        assert adaptive.n_used == 40
+        for name in SAMPLE_ARRAYS:
+            assert np.array_equal(getattr(adaptive, name),
+                                  getattr(fixed, name),
+                                  equal_nan=True), name
+        assert adaptive.variant_counts == fixed.variant_counts
+        # budget-exhausted half-widths are reported, not stale ones
+        assert adaptive.ci_halfwidths["freq_sigma"] > 0.01
+
+    def test_serial_equals_parallel_bitwise(self, tech):
+        serial = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=40, target_ci=0.3, batch=10, workers=1)
+        parallel = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=40, target_ci=0.3, batch=10, workers=2)
+        assert serial.n_used == parallel.n_used
+        assert serial.converged == parallel.converged
+        for name in SAMPLE_ARRAYS:
+            assert np.array_equal(getattr(serial, name),
+                                  getattr(parallel, name),
+                                  equal_nan=True), name
+
+
+class TestStoppingRule:
+    def test_halfwidths_shrink_with_samples(self, tech):
+        small = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=20, target_ci=0.01, batch=10)
+        large = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=80, target_ci=0.01, batch=20)
+        assert (large.ci_halfwidths["freq_sigma"]
+                < small.ci_halfwidths["freq_sigma"])
+
+    def test_counters(self, tech):
+        obs.enable()
+        result = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=60, target_ci=0.4, batch=10)
+        counters = obs.snapshot()["counters"]
+        assert counters["adaptive.mc_samples_used"] == result.n_used
+        assert counters["adaptive.solves_saved"] == (60 - result.n_used)
+
+    def test_validation(self, tech):
+        with pytest.raises(ValueError, match="target_ci"):
+            run_ring_oscillator_monte_carlo_adaptive(tech, target_ci=1.5)
+        with pytest.raises(ValueError, match="granularity"):
+            run_ring_oscillator_monte_carlo_adaptive(
+                tech, granularity="wafer")
+
+
+class TestCheckpointResume:
+    def test_kill_then_resume_bitwise(self, tech):
+        baseline = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=40, target_ci=0.01, batch=10)
+        faults.enable("checkpoint@1")
+        with pytest.raises(CheckpointError):
+            run_ring_oscillator_monte_carlo_adaptive(
+                tech, n_max=40, target_ci=0.01, batch=10, checkpoint=1)
+        faults.disable()
+        obs.enable()
+        resumed = run_ring_oscillator_monte_carlo_adaptive(
+            tech, n_max=40, target_ci=0.01, batch=10, checkpoint=1,
+            resume=True)
+        assert resumed.n_used == baseline.n_used
+        for name in SAMPLE_ARRAYS:
+            assert np.array_equal(getattr(resumed, name),
+                                  getattr(baseline, name),
+                                  equal_nan=True), name
+        assert resumed.ci_halfwidths == baseline.ci_halfwidths
+        counters = obs.snapshot()["counters"]
+        assert counters["resilience.checkpoint_resumes"] == 1
