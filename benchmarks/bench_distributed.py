@@ -1,0 +1,130 @@
+"""Distributed scheduler: dispatch overhead and chaos-parity cost.
+
+Runs one wave of deterministic numeric tasks through the
+``LocalScheduler`` baseline and the ``DistributedScheduler`` (three
+``local`` agents), then repeats the distributed wave under injected
+chaos (an agent hard-crash plus two forced lease expiries).  Writes the
+headline numbers to ``BENCH_distributed.json`` at the repository root
+(plus a line in ``BENCH_trajectory.jsonl``).
+
+Asserted invariants, both modes:
+
+* **bitwise parity** — the distributed result list equals the local
+  one exactly, clean *and* under chaos (the scheduler seam contract:
+  partitioning affects wall-clock only, never values);
+* **bounded overhead** — distributed dispatch (subprocess launch,
+  pickling, frame traffic) stays under a per-task overhead ceiling
+  against the serial baseline.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the wave; it never
+rewrites the committed ``BENCH_distributed.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.characterize.trajectory import append_trajectory, trajectory_entry
+from repro.reporting.tables import format_table
+from repro.runtime import faults
+from repro.runtime.distributed import DistributedScheduler
+from repro.runtime.scheduler import LocalScheduler
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_distributed.json"
+
+MODE = "fast" if SMOKE else "full"
+N_TASKS = 48 if SMOKE else 192
+HOSTS = "local*3"
+
+#: Per-task overhead ceiling (seconds) for clean distributed dispatch
+#: vs the serial baseline — generous, because the point is to catch a
+#: pathological regression (per-lease relaunching, frame storms), not
+#: to benchmark subprocess start-up.
+OVERHEAD_CEILING_S = 0.25
+
+
+def _cell(i: int) -> float:
+    """One deterministic pseudo-solve (~ms of dense linear algebra)."""
+    rng = np.random.default_rng(20260808 + i)
+    a = rng.standard_normal((48, 48))
+    h = a @ a.T + 48.0 * np.eye(48)
+    return float(np.linalg.eigvalsh(h).sum())
+
+
+def test_distributed_dispatch(benchmark, save_report):
+    tasks = list(range(N_TASKS))
+
+    start = time.perf_counter()
+    baseline = LocalScheduler(workers=1).run(_cell, tasks)
+    serial_wall = time.perf_counter() - start
+
+    with DistributedScheduler(hosts=HOSTS, heartbeat_s=0.2) as sched:
+        start = time.perf_counter()
+        clean = benchmark.pedantic(lambda: sched.run(_cell, tasks),
+                                   rounds=1, iterations=1)
+        clean_wall = time.perf_counter() - start
+
+    faults.enable(f"host@{N_TASKS // 2};lease@1x2")
+    try:
+        with DistributedScheduler(hosts=HOSTS, heartbeat_s=0.2,
+                                  backoff_base_s=0.01) as sched:
+            start = time.perf_counter()
+            chaotic = sched.run(_cell, tasks)
+            chaos_wall = time.perf_counter() - start
+    finally:
+        faults.disable()
+
+    assert clean == baseline
+    assert chaotic == baseline
+    overhead_s = max(0.0, clean_wall - serial_wall) / N_TASKS
+    assert overhead_s < OVERHEAD_CEILING_S
+    chaos_cost = chaos_wall / clean_wall if clean_wall > 0 else float("inf")
+
+    rows = [
+        ["serial baseline", f"{serial_wall:.2f} s",
+         f"{N_TASKS} tasks, LocalScheduler(workers=1)"],
+        ["distributed clean", f"{clean_wall:.2f} s",
+         f"{HOSTS}, {overhead_s * 1e3:.2f} ms/task overhead, "
+         "bitwise == local"],
+        ["distributed chaos", f"{chaos_wall:.2f} s",
+         f"host@{N_TASKS // 2} + lease@1x2, {chaos_cost:.2f}x clean, "
+         "bitwise == local"],
+    ]
+    report = format_table(
+        ["path", "wall", "detail"], rows,
+        title=f"Distributed dispatch ({MODE} mode"
+              f"{', smoke' if SMOKE else ''})")
+    save_report("distributed", report)
+    print(report)
+
+    append_trajectory(trajectory_entry(
+        "bench_distributed", MODE, True,
+        serial_wall + clean_wall + chaos_wall,
+        {"n_tasks": N_TASKS,
+         "overhead_ms_per_task": round(overhead_s * 1e3, 3),
+         "chaos_cost_ratio": round(chaos_cost, 3)}))
+
+    if SMOKE:
+        return
+
+    payload = {
+        "schema": "repro-bench-distributed/1",
+        "hosts": HOSTS,
+        "n_tasks": N_TASKS,
+        "serial_wall_s": serial_wall,
+        "distributed_wall_s": clean_wall,
+        "chaos_wall_s": chaos_wall,
+        "overhead_s_per_task": overhead_s,
+        "chaos_cost_ratio": chaos_cost,
+        "bitwise_parity": True,
+        "chaos_spec": f"host@{N_TASKS // 2};lease@1x2",
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,15 +1,18 @@
 """Characterization runner: execute experiments, extract, diff.
 
-Experiments run through a
-:class:`~repro.runtime.scheduler.LocalScheduler` (which keeps
-deterministic ordering, drains worker observability payloads, falls
-back to a serial loop when ``workers <= 1``, and recomputes the tasks
-of a crashed worker serially in the parent), then each data dictionary
-is reduced to figures of merit by its spec's extractor and diffed
-against the committed golden.  When tracing is active
-(:func:`repro.obs.enable` / ``REPRO_TRACE=1``) a per-run manifest is
-assembled via :func:`repro.obs.build_manifest` so a characterization
-run leaves the same audit trail as ``repro run``.
+Experiments run through the
+:func:`~repro.runtime.scheduler.resolve_scheduler` seam — a
+:class:`~repro.runtime.scheduler.LocalScheduler` by default (which
+keeps deterministic ordering, drains worker observability payloads,
+falls back to a serial loop when ``workers <= 1``, and recomputes the
+tasks of a crashed worker serially in the parent), or a
+:class:`~repro.runtime.distributed.DistributedScheduler` when selected
+via ``REPRO_SCHEDULER=distributed`` / ``--scheduler distributed`` —
+then each data dictionary is reduced to figures of merit by its spec's
+extractor and diffed against the committed golden.  When tracing is
+active (:func:`repro.obs.enable` / ``REPRO_TRACE=1``) a per-run
+manifest is assembled via :func:`repro.obs.build_manifest` so a
+characterization run leaves the same audit trail as ``repro run``.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from repro.characterize.diffing import ExperimentDiff, diff_experiment
 from repro.characterize.goldens import load_goldens
 from repro.characterize.specs import SPECS
 from repro.errors import GoldenError
-from repro.runtime import LocalScheduler
+from repro.runtime import Scheduler, resolve_scheduler
 
 
 @dataclass(frozen=True)
@@ -79,11 +82,13 @@ def _measure_one(item: tuple[str, bool]
 
 
 def measure(ids: list[str], fast: bool = False,
-            workers: int | None = None
+            workers: int | None = None,
+            scheduler: Scheduler | None = None,
             ) -> tuple[dict[str, dict[str, float]], dict[str, float]]:
     """Run experiments and return ``(measured, timings_s)`` by id."""
     items = [(eid, fast) for eid in ids]
-    results = LocalScheduler(workers=workers).run(_measure_one, items)
+    sched = resolve_scheduler(scheduler, workers=workers)
+    results = sched.run(_measure_one, items)
     measured = {eid: metrics for eid, metrics, _ in results}
     timings = {eid: elapsed for eid, _, elapsed in results}
     return measured, timings
@@ -91,11 +96,13 @@ def measure(ids: list[str], fast: bool = False,
 
 def characterize(ids: list[str] | None = None, fast: bool = False,
                  workers: int | None = None,
-                 golden_root: Path | None = None) -> CharacterizationRun:
+                 golden_root: Path | None = None,
+                 scheduler: Scheduler | None = None) -> CharacterizationRun:
     """Run experiments and diff them against the committed goldens."""
     selected = list(SPECS) if ids is None else ids
     wall_start = time.perf_counter()
-    measured, timings = measure(selected, fast=fast, workers=workers)
+    measured, timings = measure(selected, fast=fast, workers=workers,
+                                scheduler=scheduler)
     mode = "fast" if fast else "full"
     goldens = load_goldens(selected, root=golden_root)
     diffs = {

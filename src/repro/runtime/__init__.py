@@ -34,6 +34,14 @@ Environment knobs
 ``REPRO_FAULTS``
     Deterministic fault-injection plan for exercising the recovery
     paths (see :mod:`repro.runtime.faults`).
+``REPRO_SCHEDULER``
+    Dispatch seam implementation: ``local`` (default) or
+    ``distributed`` (see :mod:`repro.runtime.scheduler` and
+    :mod:`repro.runtime.distributed`).
+``REPRO_HOSTS`` / ``REPRO_LEASE_TIMEOUT`` / ``REPRO_HEARTBEAT_S``
+    Distributed-scheduler agent host spec, initial/floor lease deadline
+    in seconds, and heartbeat interval (see
+    :mod:`repro.runtime.distributed`).
 """
 
 from repro.runtime.accel import (
@@ -63,6 +71,14 @@ from repro.runtime.cache import (
     clear_all,
     content_key,
 )
+from repro.runtime.distributed import (
+    HEARTBEAT_ENV,
+    HOSTS_ENV,
+    LEASE_TIMEOUT_ENV,
+    DistributedScheduler,
+    distributed_available,
+    parse_hosts,
+)
 from repro.runtime.faults import FAULTS_ENV
 from repro.runtime.parallel import (
     WORKERS_ENV,
@@ -75,6 +91,7 @@ from repro.runtime.parallel import (
     spawn_seed_sequences,
 )
 from repro.runtime.scheduler import (
+    SCHEDULER_ENV,
     LocalScheduler,
     Scheduler,
     resolve_scheduler,
@@ -91,6 +108,7 @@ from repro.runtime.resilience import (
     recover_parallel,
     resume_enabled,
     run_ladder,
+    run_with_deadline,
     strict_default,
 )
 
@@ -102,12 +120,17 @@ __all__ = [
     "BackendUnavailableError",
     "CACHE_DIR_ENV",
     "CHECKPOINT_ENV",
+    "DistributedScheduler",
     "FAULTS_ENV",
     "FailureRecord",
+    "HEARTBEAT_ENV",
+    "HOSTS_ENV",
+    "LEASE_TIMEOUT_ENV",
     "LocalScheduler",
     "NO_CACHE_ENV",
     "NO_WARMSTART_ENV",
     "RESUME_ENV",
+    "SCHEDULER_ENV",
     "STRICT_ENV",
     "Scheduler",
     "SweepCheckpoint",
@@ -126,9 +149,11 @@ __all__ = [
     "clear_all",
     "content_key",
     "default_chunk_size",
+    "distributed_available",
     "guided_chunk_plan",
     "in_worker",
     "parallel_map",
+    "parse_hosts",
     "quarantine",
     "recover_parallel",
     "resolve_scheduler",
@@ -136,6 +161,7 @@ __all__ = [
     "resume_enabled",
     "scheduler_kind",
     "run_ladder",
+    "run_with_deadline",
     "spawn_seed_sequences",
     "stacked_identity",
     "strict_default",

@@ -1,0 +1,217 @@
+"""Distributed worker agent: ``python -m repro.runtime.agent``.
+
+One agent is one leased executor on one host.  The scheduler
+(:mod:`repro.runtime.distributed`) launches it from a ``REPRO_HOSTS``
+command template — directly as a subprocess for ``local`` entries, or
+wrapped in ``ssh user@box ...`` for remote ones — and speaks the
+newline-delimited JSON protocol of :mod:`repro.runtime.protocol` over
+its stdin/stdout.
+
+The agent is intentionally *policy-free*: it announces itself
+(``hello``), executes whatever leases arrive, emits ``heartbeat``
+frames from a background thread while a lease is active, ships results
+(and its drained obs payload) back in ``result`` frames, and exits on
+``shutdown`` or EOF.  All robustness policy — deadlines, heartbeat
+windows, reassignment, quarantine, fallback — lives scheduler-side, so
+a wedged, crashed or malicious agent can never take a wave down.
+
+Determinism: tasks arrive with their caller-assigned global indices and
+are executed by a plain ``fn(item)`` call in lease order, so per-sample
+seeds, ``REPRO_FAULTS`` specs and checkpoint memos key identically at
+any host count.  The agent marks itself as a worker process
+(``_REPRO_IN_WORKER``), which collapses nested pools and nested
+scheduler resolution to serial — one lease is one single-threaded
+computation, exactly like a pool worker chunk.
+
+Fault sites (inherited through the spawned environment, keyed by the
+lease's global task indices): ``host`` crashes the agent process hard,
+``stall`` silences its heartbeats and sleeps — see
+:mod:`repro.runtime.faults`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+from repro import obs
+from repro.errors import DeadlineExceeded, FrameError
+from repro.runtime import faults
+from repro.runtime.parallel import _IN_WORKER_ENV
+from repro.runtime.protocol import (
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    pack_payload,
+    unpack_payload,
+)
+from repro.runtime.resilience import run_with_deadline
+
+
+class _HeartbeatThread(threading.Thread):
+    """Background heartbeat emitter for one active lease.
+
+    Writes ``heartbeat`` frames every ``interval_s`` until stopped.
+    ``suppress()`` silences it permanently (the ``stall`` fault path) —
+    a wedged host does not send heartbeats, that is the point.
+    """
+
+    def __init__(self, writer: "_FrameWriter", lease_id: int,
+                 interval_s: float):
+        super().__init__(daemon=True)
+        self.writer = writer
+        self.lease_id = lease_id
+        self.interval_s = max(0.05, float(interval_s))
+        self.done = 0
+        self._stop = threading.Event()
+        self._suppressed = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            if self._suppressed.is_set():
+                continue
+            try:
+                self.writer.send("heartbeat", lease_id=self.lease_id,
+                                 done=int(self.done))
+            except OSError:
+                return  # scheduler went away; main loop will see EOF too
+
+    def suppress(self) -> None:
+        self._suppressed.set()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class _FrameWriter:
+    """Locked line writer shared by the main loop and heartbeat thread."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self._lock = threading.Lock()
+
+    def send(self, frame_type: str, **fields: Any) -> None:
+        line = encode_frame(frame_type, **fields)
+        with self._lock:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+
+
+def _execute_lease(frame: dict[str, Any], writer: _FrameWriter) -> None:
+    """Run one lease and reply with ``result`` (or ``error``).
+
+    The scheduler's lease deadline is also enforced *cooperatively*
+    here through :func:`~repro.runtime.resilience.run_with_deadline`
+    (the agent main thread can take ``SIGALRM``): a lease that overruns
+    reports ``error kind="deadline"`` instead of silently running on,
+    which spares the scheduler a kill for stragglers that are slow but
+    not wedged.  The scheduler-side timer remains the backstop for
+    agents too far gone to run this code at all.
+    """
+    lease_id = int(frame["lease_id"])
+    indices = [int(i) for i in frame["indices"]]
+    deadline_s = frame["deadline_s"]
+    fn, items = unpack_payload(frame["payload"])
+    if len(items) != len(indices):
+        raise FrameError(
+            f"lease {lease_id}: {len(indices)} indices but "
+            f"{len(items)} items")
+    heartbeat = _HeartbeatThread(writer, lease_id,
+                                 float(frame["heartbeat_s"]))
+    heartbeat.start()
+    if obs.ACTIVE:
+        obs.reset()
+    results: list[Any] = []
+    task_s: list[float] = []
+
+    def _run_tasks() -> None:
+        for index, item in zip(indices, items):
+            if faults.ACTIVE:
+                faults.inject("host", index)  # may os._exit(23)
+                if faults.should_fire("stall", index):
+                    _stall(heartbeat)
+            start = time.perf_counter()
+            results.append(fn(item))
+            task_s.append(time.perf_counter() - start)
+            heartbeat.done += 1
+
+    try:
+        if deadline_s is None:
+            _run_tasks()
+        else:
+            run_with_deadline(_run_tasks, float(deadline_s), site="lease")
+    except DeadlineExceeded as exc:
+        heartbeat.stop()
+        writer.send("error", lease_id=lease_id, kind="deadline",
+                    error=repr(exc))
+        return
+    except Exception as exc:  # repro: noqa[RPA501] transport firewall: the task's exception is reported to the scheduler, which re-raises it faithfully by local recompute
+        heartbeat.stop()
+        writer.send("error", lease_id=lease_id, kind="task",
+                    error=repr(exc))
+        return
+    heartbeat.stop()
+    payload = pack_payload(results)
+    writer.send("result", lease_id=lease_id, payload=payload,
+                task_s=[round(t, 6) for t in task_s],
+                obs=obs.drain() if obs.ACTIVE else None)
+
+
+def _stall(heartbeat: _HeartbeatThread) -> None:
+    """Go silent: no heartbeats, no alarm, just a long sleep.
+
+    The cooperative deadline alarm is disarmed first — a genuinely
+    wedged process does not run Python signal handlers, and the test
+    contract of the ``stall`` site is that *only* the scheduler's
+    missed-heartbeat window can end it.
+    """
+    heartbeat.suppress()
+    if hasattr(signal, "setitimer"):
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+    time.sleep(faults.STALL_SLEEP_S)
+
+
+def serve(stdin: TextIO | None = None, stdout: TextIO | None = None) -> int:
+    """Agent main loop; returns the process exit code.
+
+    Reads frames line-by-line from ``stdin`` until ``shutdown`` or EOF.
+    A malformed inbound frame is fatal to the *agent* (exit code 2) —
+    the scheduler treats the death as an agent failure and reassigns,
+    which is the correct blast radius for a corrupted pipe.
+    """
+    os.environ[_IN_WORKER_ENV] = "1"
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    writer = _FrameWriter(stdout)
+    writer.send("hello", v=PROTOCOL_VERSION, pid=os.getpid())
+    for line in stdin:
+        if not line.strip():
+            continue
+        try:
+            frame = decode_frame(line)
+        except FrameError as exc:
+            print(f"repro-agent: bad frame: {exc}", file=sys.stderr)
+            return 2
+        if frame["type"] == "shutdown":
+            return 0
+        if frame["type"] == "lease":
+            try:
+                _execute_lease(frame, writer)
+            except FrameError as exc:
+                print(f"repro-agent: bad lease: {exc}", file=sys.stderr)
+                return 2
+        # Other frame types are scheduler-bound; ignore echoes silently.
+    return 0
+
+
+def main() -> int:
+    """Console entry point (``python -m repro.runtime.agent``)."""
+    return serve()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

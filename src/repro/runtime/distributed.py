@@ -1,0 +1,781 @@
+"""Distributed scheduler: lease-based fan-out over subprocess agents.
+
+:class:`DistributedScheduler` is the second implementation of the
+:class:`~repro.runtime.scheduler.Scheduler` seam.  It shards a wave of
+tasks across worker *agents* — subprocesses launched from a host
+specification (``REPRO_HOSTS``) and speaking the newline-delimited JSON
+protocol of :mod:`repro.runtime.protocol` — and is designed around the
+assumption that remote workers stall, die and straggle:
+
+Leases, not fire-and-forget
+    Every task chunk is granted as a *lease* with a wall-clock deadline
+    derived from an EWMA of observed per-task solve times (until data
+    exists, ``REPRO_LEASE_TIMEOUT`` seconds).  Agents enforce the
+    deadline cooperatively
+    (:func:`~repro.runtime.resilience.run_with_deadline` inside the
+    agent) and the scheduler enforces it again with a grace factor — so
+    a lease ends even when its holder is too wedged to run Python.
+
+Heartbeats
+    A leased agent emits ``heartbeat`` frames from a background thread;
+    silence beyond the stall window means the host is wedged or
+    partitioned, and its process is killed.
+
+Reassignment with backoff and a cap
+    An expired, stalled or crashed lease goes back into the queue with
+    exponential backoff; after ``redispatch_cap`` grants its tasks are
+    computed *locally in the parent* — re-dispatch chaos can cost time
+    but never correctness, and no wave can hang indefinitely.
+
+Agent quarantine
+    A host entry whose agents fail repeatedly (crash, stall, protocol
+    garbage, hard deadline blow-through) is quarantined: no more
+    launches, and a structured
+    :class:`~repro.runtime.resilience.FailureRecord` (``site="agent"``)
+    lands in the obs manifest's failures block.  A protocol-version
+    mismatch at ``hello`` quarantines immediately.
+
+Graceful degradation
+    With every host quarantined or dead (or ``REPRO_HOSTS`` empty), the
+    remaining tasks run through a
+    :class:`~repro.runtime.scheduler.LocalScheduler` in the parent —
+    the wave always completes.
+
+Determinism rides the existing machinery: tasks keep their
+caller-assigned indices, so per-sample seeds, ``REPRO_FAULTS`` specs
+and ``SweepCheckpoint`` memos are host-count-invariant, and the result
+list is bitwise-identical to ``LocalScheduler`` for deterministic
+per-task functions — including under injected agent crashes
+(``host@i``), heartbeat stalls (``stall@i``) and forced lease expiry
+(``lease@i``).  Task-level exceptions reported by an agent are *not*
+retried on another host (the failure is deterministic); the parent
+recomputes those tasks locally, where the exception re-raises
+faithfully — the same contract as
+:func:`~repro.runtime.resilience.recover_parallel`.
+
+Host specification (``REPRO_HOSTS`` or the ``hosts=`` argument) —
+entries separated by ``;`` (or ``,`` when no ``;`` is present):
+
+* ``local`` — an agent subprocess of this Python interpreter, with the
+  parent's ``sys.path`` exported so pickled callables resolve exactly
+  as they do in pool workers;
+* ``local*N`` — N such agents;
+* anything else — a command template, e.g. ``ssh user@box``: the agent
+  invocation (``python -u -m repro.runtime.agent``) is appended, or
+  substituted for a literal ``{agent}`` token if present.  The remote
+  end needs ``repro`` importable; nothing else is assumed.
+
+Tuning knobs: ``REPRO_LEASE_TIMEOUT`` (initial/floor lease deadline,
+seconds), ``REPRO_HEARTBEAT_S`` (heartbeat interval; the stall window
+is four beats).  Constructor arguments override both for tests.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+import time
+import weakref
+from collections import deque
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro import obs
+from repro.errors import FrameError
+from repro.runtime.faults import should_fire
+from repro.runtime.parallel import default_chunk_size
+from repro.runtime.protocol import (
+    check_hello,
+    decode_frame,
+    encode_frame,
+    pack_payload,
+    unpack_payload,
+)
+from repro.runtime.resilience import FailureRecord
+from repro.runtime.scheduler import LocalScheduler, Scheduler
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable holding the agent host specification.
+HOSTS_ENV = "REPRO_HOSTS"
+
+#: Environment variable: initial/floor lease deadline in seconds.
+LEASE_TIMEOUT_ENV = "REPRO_LEASE_TIMEOUT"
+
+#: Environment variable: heartbeat interval in seconds.
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_S"
+
+#: Default lease deadline before any solve-time data exists.
+DEFAULT_LEASE_TIMEOUT_S = 300.0  # repro: noqa[RPA201] seconds, not kelvin
+
+#: Default heartbeat interval.
+DEFAULT_HEARTBEAT_S = 1.0
+
+#: Deadline = max(floor, factor * EWMA-per-task * tasks-in-lease).
+DEADLINE_FACTOR = 4.0
+
+#: The scheduler-side (hard) expiry fires at ``deadline * grace`` — the
+#: agent's cooperative alarm should have reported first on any host
+#: healthy enough to run a signal handler.
+DEADLINE_GRACE = 1.5
+
+#: Minimum hard-expiry window, so a force-expired lease (deadline 0,
+#: the ``lease`` fault site) is reported by the agent's cooperative
+#: path rather than racing the scheduler's kill timer.
+MIN_GRACE_S = 0.5
+
+#: EWMA smoothing factor for observed per-task wall times.
+EWMA_ALPHA = 0.4
+
+#: Agent invocation appended to (or substituted into) host templates.
+AGENT_ARGV = ("python", "-u", "-m", "repro.runtime.agent")
+
+
+def parse_hosts(spec: str) -> list[str]:
+    """Expand a host specification into one entry per agent.
+
+    ``"local*3"`` becomes three ``"local"`` entries; separators are
+    ``;`` — or ``,`` when the spec contains no ``;`` (so ssh command
+    templates may contain commas if the list is ``;``-separated).
+    Raises ``ValueError`` on a malformed ``*N`` multiplier.
+    """
+    entries: list[str] = []
+    parts = spec.split(";") if ";" in spec else spec.split(",")
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        head, star, count = part.rpartition("*")
+        if star and head.strip() and count.strip().isdigit():
+            n = int(count)
+            if n < 1:
+                raise ValueError(f"bad host multiplier in {part!r}")
+            entries.extend([head.strip()] * n)
+        else:
+            entries.append(part)
+    return entries
+
+
+def agent_command(entry: str) -> list[str]:
+    """The argv that launches one agent for a host entry."""
+    if entry == "local":
+        return [sys.executable, "-u", "-m", "repro.runtime.agent"]
+    tokens = shlex.split(entry)
+    if not tokens:
+        raise ValueError(f"empty host entry {entry!r}")
+    if "{agent}" in tokens:
+        expanded: list[str] = []
+        for token in tokens:
+            expanded.extend(AGENT_ARGV if token == "{agent}" else [token])
+        return expanded
+    return tokens + list(AGENT_ARGV)
+
+
+def _agent_env(entry: str) -> dict[str, str]:
+    """Environment for a launched agent.
+
+    Local agents mirror the parent interpreter's import path (the same
+    guarantee ``multiprocessing`` spawn gives pool workers), so pickled
+    module-level callables resolve identically.  ``REPRO_*`` knobs —
+    including ``REPRO_FAULTS`` and ``REPRO_TRACE`` — are inherited
+    as-is; nested distribution is impossible because the agent marks
+    itself as a worker process before resolving anything.
+    """
+    env = dict(os.environ)
+    if entry == "local":
+        env["PYTHONPATH"] = os.pathsep.join(
+            dict.fromkeys(p for p in sys.path if p))
+    return env
+
+
+def lease_timeout_default() -> float:
+    """Initial/floor lease deadline (``REPRO_LEASE_TIMEOUT`` or default)."""
+    raw = os.environ.get(LEASE_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return DEFAULT_LEASE_TIMEOUT_S
+    try:
+        return max(0.1, float(raw))
+    except ValueError:
+        raise ValueError(
+            f"{LEASE_TIMEOUT_ENV} must be a number of seconds, "
+            f"got {raw!r}") from None
+
+
+def heartbeat_default() -> float:
+    """Heartbeat interval (``REPRO_HEARTBEAT_S`` or default)."""
+    raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if not raw:
+        return DEFAULT_HEARTBEAT_S
+    try:
+        return max(0.05, float(raw))
+    except ValueError:
+        raise ValueError(
+            f"{HEARTBEAT_ENV} must be a number of seconds, "
+            f"got {raw!r}") from None
+
+
+def distributed_available() -> bool:
+    """True when a non-empty host specification is configured."""
+    return bool(os.environ.get(HOSTS_ENV, "").strip())
+
+
+class _Lease:
+    """Bookkeeping for one granted-or-pending chunk of task indices."""
+
+    __slots__ = ("lease_id", "indices", "attempts", "eligible_at",
+                 "granted_at", "deadline_s")
+
+    def __init__(self, lease_id: int, indices: list[int]):
+        self.lease_id = lease_id
+        self.indices = indices
+        self.attempts = 0
+        self.eligible_at = 0.0
+        self.granted_at = 0.0
+        self.deadline_s = 0.0
+
+
+class _Agent:
+    """One live (or launching) agent subprocess."""
+
+    __slots__ = ("uid", "slot", "entry", "proc", "state", "lease",
+                 "last_beat", "spawned_at")
+
+    def __init__(self, uid: int, slot: int, entry: str):
+        self.uid = uid
+        self.slot = slot
+        self.entry = entry
+        self.proc: subprocess.Popen[str] | None = None
+        self.state = "starting"  # starting | ready | busy
+        self.lease: _Lease | None = None
+        self.last_beat = 0.0
+        self.spawned_at = 0.0
+
+
+class _Wave:
+    """Mutable state of one :meth:`DistributedScheduler.run` call.
+
+    Results are delivered by caller-assigned task index.  A lease that
+    exhausts its re-dispatch cap (or hits a deterministic task error)
+    is *parked*: it leaves the ``outstanding`` count but its indices
+    stay undelivered, so they surface in :meth:`missing` and are
+    computed by the local fallback in task-index order.
+    """
+
+    __slots__ = ("fn", "tasks", "results", "have", "pending",
+                 "outstanding", "payloads", "lease_floor", "beat")
+
+    def __init__(self, fn: Callable[[Any], Any], tasks: list[Any],
+                 leases: list[_Lease], lease_floor: float, beat: float):
+        self.fn = fn
+        self.tasks = tasks
+        self.results: list[Any] = [None] * len(tasks)
+        self.have = [False] * len(tasks)
+        self.pending: deque[_Lease] = deque(leases)
+        self.outstanding = len(leases)
+        self.payloads: list[tuple[int, dict[str, Any]]] = []
+        self.lease_floor = lease_floor
+        self.beat = beat
+
+    def deliver(self, lease: _Lease, values: list[Any]) -> None:
+        for offset, index in enumerate(lease.indices):
+            self.results[index] = values[offset]
+            self.have[index] = True
+        self.outstanding -= 1
+
+    def park(self, lease: _Lease) -> None:
+        self.outstanding -= 1
+
+    def missing(self) -> list[int]:
+        return [i for i in range(len(self.tasks)) if not self.have[i]]
+
+
+def _kill_processes(procs: list[subprocess.Popen[str]]) -> None:
+    """Finalizer target: no agent process may outlive its scheduler."""
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+
+
+class DistributedScheduler(Scheduler):
+    """Lease-based scheduler over subprocess agents (see module docs).
+
+    Agents persist across :meth:`run` calls (adaptive engines submit
+    many waves through one scheduler object); :meth:`close` — or
+    garbage collection, or use as a context manager — shuts them down.
+    ``hosts=None`` reads ``REPRO_HOSTS`` at each run, so one instance
+    serves tests and production alike.
+    """
+
+    def __init__(self, hosts: Sequence[str] | str | None = None,
+                 workers: int | None = None,
+                 chunk_size: int | None = None,
+                 lease_timeout_s: float | None = None,
+                 heartbeat_s: float | None = None,
+                 redispatch_cap: int = 3,
+                 quarantine_after: int = 2,
+                 backoff_base_s: float = 0.05,
+                 hello_timeout_s: float = 30.0):
+        if isinstance(hosts, str):
+            hosts = parse_hosts(hosts)
+        self.hosts = None if hosts is None else list(hosts)
+        self.workers = workers  # width of the local fallback
+        self.chunk_size = chunk_size
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.redispatch_cap = max(1, int(redispatch_cap))
+        self.quarantine_after = max(1, int(quarantine_after))
+        self.backoff_base_s = max(0.0, float(backoff_base_s))
+        self.hello_timeout_s = max(0.1, float(hello_timeout_s))
+        self._agents: list[_Agent] = []
+        self._next_uid = 0
+        self._strikes: dict[int, int] = {}
+        self._quarantined: set[int] = set()
+        self._frames: "queue.Queue[tuple[int, str | None]]" = queue.Queue()
+        self._ewma_task_s: float | None = None
+        self._procs: list[subprocess.Popen[str]] = []
+        self._finalizer = weakref.finalize(self, _kill_processes,
+                                           self._procs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DistributedScheduler(hosts={self.hosts!r}, "
+                f"workers={self.workers!r})")
+
+    def __enter__(self) -> "DistributedScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, fn: Callable[[T], R], tasks: Iterable[T], *,
+            strict: bool = False,
+            chunk_size: int | None = None) -> list[R]:
+        tasks = list(tasks)
+        n = len(tasks)
+        entries = self._resolve_hosts()
+        if obs.ACTIVE:
+            obs.annotate("scheduler_kind", type(self).__name__)
+            obs.gauge("scheduler.agents", len(entries))
+        if n == 0:
+            return []
+        if not entries:
+            return self._fallback(fn, tasks, strict,
+                                  reason="no hosts configured")
+        lease_floor = (lease_timeout_default()
+                       if self.lease_timeout_s is None
+                       else self.lease_timeout_s)
+        beat = (heartbeat_default() if self.heartbeat_s is None
+                else self.heartbeat_s)
+        size = chunk_size or self.chunk_size or default_chunk_size(
+            n, len(entries), chunks_per_worker=2)
+        leases = [_Lease(k, list(range(start, min(start + size, n))))
+                  for k, start in enumerate(range(0, n, size))]
+        wave = _Wave(fn, tasks, leases, lease_floor, beat)
+        with obs.span("runtime.distributed.run", tasks=n,
+                      agents=len(entries), leases=len(leases)):
+            self._run_wave(wave, entries)
+        missing = wave.missing()
+        if missing:
+            fallback = self._fallback(fn, [tasks[i] for i in missing],
+                                      strict, reason="undelivered leases")
+            for offset, index in enumerate(missing):
+                wave.results[index] = fallback[offset]
+        return wave.results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Shut down all agents (polite frame, then kill)."""
+        for agent in self._agents:
+            if agent.proc is not None and agent.proc.poll() is None:
+                try:
+                    assert agent.proc.stdin is not None
+                    agent.proc.stdin.write(encode_frame("shutdown") + "\n")
+                    agent.proc.stdin.flush()
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 2.0
+        for agent in self._agents:
+            if agent.proc is None:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                agent.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                agent.proc.kill()
+                agent.proc.wait()
+        self._agents.clear()
+        self._procs.clear()
+
+    # ------------------------------------------------------------------ #
+    # Wave execution
+    # ------------------------------------------------------------------ #
+    def _run_wave(self, wave: _Wave, entries: list[str]) -> None:
+        stall_window = max(4.0 * wave.beat, 1.0)
+        tick = max(0.02, min(0.2, wave.beat / 2.0))
+        while wave.outstanding > 0:
+            self._reap(wave)
+            if not self._usable_slots(entries) and not self._agents:
+                # Every host is quarantined (each strike path kills its
+                # agent, so no live agent can remain): park everything
+                # still queued and let the local fallback finish.
+                while wave.pending:
+                    wave.park(wave.pending.popleft())
+                break
+            self._launch_missing(entries)
+            self._grant(wave)
+            self._drain_frames(wave, tick)
+            self._check_timers(wave, stall_window)
+        if obs.ACTIVE:
+            for _, payload in sorted(wave.payloads, key=lambda p: p[0]):
+                obs.absorb(payload)
+
+    # ------------------------------------------------------------------ #
+    # Agent lifecycle
+    # ------------------------------------------------------------------ #
+    def _resolve_hosts(self) -> list[str]:
+        if self.hosts is not None:
+            return list(self.hosts)
+        spec = os.environ.get(HOSTS_ENV, "").strip()
+        return parse_hosts(spec) if spec else []
+
+    def _usable_slots(self, entries: list[str]) -> list[int]:
+        return [slot for slot in range(len(entries))
+                if slot not in self._quarantined]
+
+    def _agent_by_uid(self, uid: int) -> "_Agent | None":
+        for agent in self._agents:
+            if agent.uid == uid:
+                return agent
+        return None
+
+    def _launch_missing(self, entries: list[str]) -> None:
+        occupied = {agent.slot for agent in self._agents}
+        for slot in self._usable_slots(entries):
+            if slot in occupied:
+                continue
+            agent = _Agent(self._next_uid, slot, entries[slot])
+            self._next_uid += 1
+            try:
+                agent.proc = subprocess.Popen(
+                    agent_command(agent.entry), stdin=subprocess.PIPE,
+                    stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                    text=True, bufsize=1, env=_agent_env(agent.entry))
+            except (OSError, ValueError) as exc:
+                self._strike(agent, f"launch failed: {exc}")
+                continue
+            self._procs.append(agent.proc)
+            now = time.monotonic()
+            agent.spawned_at = now
+            agent.last_beat = now
+            threading.Thread(target=self._read_frames,
+                             args=(agent.uid, agent.proc),
+                             daemon=True).start()
+            self._agents.append(agent)
+            if obs.ACTIVE:
+                obs.incr("scheduler.agents_launched")
+
+    def _read_frames(self, uid: int, proc: subprocess.Popen[str]) -> None:
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            self._frames.put((uid, line))
+        self._frames.put((uid, None))
+
+    def _kill_agent(self, agent: _Agent) -> None:
+        if agent.proc is not None and agent.proc.poll() is None:
+            agent.proc.kill()
+            agent.proc.wait()
+        if agent in self._agents:
+            self._agents.remove(agent)
+
+    def _strike(self, agent: _Agent, reason: str,
+                fatal: bool = False) -> None:
+        """Count one failure against the agent's host entry.
+
+        ``fatal=True`` (protocol-version mismatch at hello) quarantines
+        the host immediately regardless of its strike count.
+        """
+        strikes = self._strikes.get(agent.slot, 0) + 1
+        self._strikes[agent.slot] = strikes
+        if not fatal and strikes < self.quarantine_after:
+            return
+        if agent.slot in self._quarantined:
+            return
+        self._quarantined.add(agent.slot)
+        record = FailureRecord(
+            site="agent", error="AgentFailure",
+            message=(f"host {agent.entry!r} quarantined after "
+                     f"{strikes} failure(s): {reason}"),
+            index=agent.slot,
+            context={"host": agent.entry, "strikes": strikes,
+                     "reason": reason})
+        if obs.ACTIVE:
+            obs.incr("scheduler.agents_quarantined")
+            obs.record_failure(record.to_dict())
+
+    def _requeue(self, wave: _Wave, lease: _Lease) -> None:
+        """Queue a failed lease for another grant — or park it at cap."""
+        lease.granted_at = 0.0
+        if lease.attempts >= self.redispatch_cap:
+            if obs.ACTIVE:
+                obs.incr("scheduler.leases_parked")
+            wave.park(lease)
+            return
+        lease.eligible_at = (time.monotonic() + self.backoff_base_s
+                             * (2.0 ** max(0, lease.attempts - 1)))
+        wave.pending.append(lease)
+        if obs.ACTIVE:
+            obs.incr("scheduler.leases_redispatched")
+
+    def _reap(self, wave: _Wave) -> None:
+        """Notice dead agent processes and recycle their leases."""
+        for agent in list(self._agents):
+            if agent.proc is None or agent.proc.poll() is None:
+                continue
+            lease = agent.lease
+            agent.lease = None
+            self._kill_agent(agent)
+            if obs.ACTIVE:
+                obs.incr("scheduler.agent_crashes")
+            self._strike(agent, "process exited "
+                                f"(code {agent.proc.returncode})")
+            if lease is not None:
+                self._requeue(wave, lease)
+
+    # ------------------------------------------------------------------ #
+    # Lease granting and monitoring
+    # ------------------------------------------------------------------ #
+    def _lease_deadline(self, n_tasks: int, lease_floor: float) -> float:
+        if self._ewma_task_s is None:
+            return lease_floor
+        return max(lease_floor,
+                   DEADLINE_FACTOR * self._ewma_task_s * n_tasks)
+
+    def _grant(self, wave: _Wave) -> None:
+        now = time.monotonic()
+        for agent in list(self._agents):
+            if agent.state != "ready":
+                continue
+            lease = self._next_eligible(wave.pending, now)
+            if lease is None:
+                return
+            lease.attempts += 1
+            lease.granted_at = now
+            deadline = self._lease_deadline(len(lease.indices),
+                                            wave.lease_floor)
+            if any(should_fire("lease", i) for i in lease.indices):
+                deadline = 0.0  # granted already expired
+            lease.deadline_s = deadline
+            payload = pack_payload(
+                (wave.fn, [wave.tasks[i] for i in lease.indices]))
+            try:
+                assert agent.proc is not None and agent.proc.stdin is not None
+                agent.proc.stdin.write(encode_frame(
+                    "lease", lease_id=lease.lease_id,
+                    indices=lease.indices, payload=payload,
+                    heartbeat_s=wave.beat, deadline_s=deadline) + "\n")
+                agent.proc.stdin.flush()
+            except (OSError, ValueError):
+                self._kill_agent(agent)
+                self._strike(agent, "lease write failed")
+                self._requeue(wave, lease)
+                continue
+            agent.state = "busy"
+            agent.lease = lease
+            agent.last_beat = now
+            if obs.ACTIVE:
+                obs.incr("scheduler.leases_granted")
+
+    @staticmethod
+    def _next_eligible(pending: deque[_Lease],
+                       now: float) -> "_Lease | None":
+        for _ in range(len(pending)):
+            lease = pending.popleft()
+            if lease.eligible_at <= now:
+                return lease
+            pending.append(lease)
+        return None
+
+    def _check_timers(self, wave: _Wave, stall_window: float) -> None:
+        now = time.monotonic()
+        for agent in list(self._agents):
+            if agent.state == "starting":
+                if now - agent.spawned_at > self.hello_timeout_s:
+                    self._kill_agent(agent)
+                    self._strike(agent, "no hello before timeout")
+                continue
+            if agent.state != "busy" or agent.lease is None:
+                continue
+            lease = agent.lease
+            expired = (now - lease.granted_at
+                       > max(lease.deadline_s * DEADLINE_GRACE,
+                             MIN_GRACE_S))
+            stalled = now - agent.last_beat > stall_window
+            if not (expired or stalled):
+                continue
+            agent.lease = None
+            self._kill_agent(agent)
+            if obs.ACTIVE:
+                obs.incr("scheduler.leases_expired" if expired
+                         else "scheduler.agent_stalls")
+            self._strike(agent, "lease deadline expired (hard)" if expired
+                         else "heartbeat silence")
+            self._requeue(wave, lease)
+
+    # ------------------------------------------------------------------ #
+    # Frame processing
+    # ------------------------------------------------------------------ #
+    def _drain_frames(self, wave: _Wave, tick: float) -> None:
+        try:
+            uid, line = self._frames.get(timeout=tick)
+        except queue.Empty:
+            return
+        while True:
+            self._handle_frame(wave, uid, line)
+            try:
+                uid, line = self._frames.get_nowait()
+            except queue.Empty:
+                return
+
+    def _handle_frame(self, wave: _Wave, uid: int,
+                      line: str | None) -> None:
+        agent = self._agent_by_uid(uid)
+        if agent is None or line is None:
+            # Frame from an already-removed agent (stale), or the EOF
+            # marker — process exits are handled by _reap.
+            return
+        try:
+            frame = decode_frame(line)
+        except FrameError as exc:
+            self._frame_failure(wave, agent, f"undecodable frame: {exc}")
+            return
+        kind = frame["type"]
+        if kind == "hello":
+            try:
+                check_hello(frame)
+            except FrameError as exc:
+                if obs.ACTIVE:
+                    obs.incr("scheduler.protocol_errors")
+                self._kill_agent(agent)
+                self._strike(agent, str(exc), fatal=True)
+                return
+            agent.state = "ready"
+            agent.last_beat = time.monotonic()
+        elif kind == "heartbeat":
+            agent.last_beat = time.monotonic()
+            if obs.ACTIVE:
+                obs.incr("scheduler.heartbeats")
+        elif kind == "result":
+            try:
+                self._handle_result(wave, agent, frame)
+            except FrameError as exc:
+                self._frame_failure(wave, agent, f"bad result frame: {exc}")
+        elif kind == "error":
+            self._handle_error(wave, agent, frame)
+        # Only scheduler-bound frame types remain; anything unknown was
+        # already rejected by decode_frame.
+
+    def _frame_failure(self, wave: _Wave, agent: _Agent,
+                       reason: str) -> None:
+        """A garbage-emitting agent is killed; its lease is reassigned."""
+        if obs.ACTIVE:
+            obs.incr("scheduler.protocol_errors")
+        lease = agent.lease
+        agent.lease = None
+        self._kill_agent(agent)
+        self._strike(agent, reason)
+        if lease is not None:
+            self._requeue(wave, lease)
+
+    def _handle_result(self, wave: _Wave, agent: _Agent,
+                       frame: dict[str, Any]) -> None:
+        lease = agent.lease
+        if lease is None or frame["lease_id"] != lease.lease_id:
+            return  # stale result for a lease this agent no longer holds
+        values = unpack_payload(frame["payload"])
+        if not isinstance(values, list) or len(values) != len(lease.indices):
+            raise FrameError(
+                f"result for lease {lease.lease_id} carries "
+                f"{len(values) if isinstance(values, list) else '?'} "
+                f"values for {len(lease.indices)} tasks")
+        try:
+            task_s = [float(t) for t in frame["task_s"]]
+        except (TypeError, ValueError) as exc:
+            raise FrameError(f"non-numeric task_s: {exc}") from exc
+        positive = [t for t in task_s if t >= 0.0]
+        if positive:
+            mean = sum(positive) / len(positive)
+            self._ewma_task_s = (mean if self._ewma_task_s is None
+                                 else EWMA_ALPHA * mean
+                                 + (1.0 - EWMA_ALPHA) * self._ewma_task_s)
+        if frame["obs"] is not None and obs.ACTIVE:
+            if not isinstance(frame["obs"], dict):
+                raise FrameError("result obs payload must be an object")
+            wave.payloads.append((lease.indices[0], frame["obs"]))
+        wave.deliver(lease, values)
+        agent.lease = None
+        agent.state = "ready"
+        agent.last_beat = time.monotonic()
+
+    def _handle_error(self, wave: _Wave, agent: _Agent,
+                      frame: dict[str, Any]) -> None:
+        lease = agent.lease
+        if lease is None or frame["lease_id"] != lease.lease_id:
+            return
+        agent.lease = None
+        agent.state = "ready"
+        agent.last_beat = time.monotonic()
+        if frame["kind"] == "deadline":
+            # Cooperative expiry: the agent is healthy enough to report,
+            # so no strike — but the lease goes through the same
+            # backoff / re-dispatch-cap path as a hard expiry.
+            if obs.ACTIVE:
+                obs.incr("scheduler.leases_expired")
+            self._requeue(wave, lease)
+            return
+        # Task-level exception: re-dispatching cannot help (the failure
+        # is deterministic), so park the lease — the parent recomputes
+        # its tasks locally, where the exception re-raises faithfully.
+        if obs.ACTIVE:
+            obs.incr("scheduler.task_errors")
+            obs.incr("scheduler.leases_parked")
+        wave.park(lease)
+
+    # ------------------------------------------------------------------ #
+    # Local fallback
+    # ------------------------------------------------------------------ #
+    def _fallback(self, fn: Callable[[T], R], items: list[T],
+                  strict: bool, reason: str) -> list[R]:
+        """Finish ``items`` in the parent through a LocalScheduler."""
+        if obs.ACTIVE:
+            obs.incr("scheduler.local_fallbacks")
+            obs.incr("scheduler.local_fallback_tasks", len(items))
+            obs.annotate("scheduler_degraded", reason)
+        with obs.span("runtime.distributed.local_fallback",
+                      tasks=len(items), reason=reason):
+            return LocalScheduler(workers=self.workers).run(
+                fn, items, strict=strict)
+
+
+__all__ = [
+    "AGENT_ARGV",
+    "DEADLINE_FACTOR",
+    "DEADLINE_GRACE",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_LEASE_TIMEOUT_S",
+    "DistributedScheduler",
+    "EWMA_ALPHA",
+    "HEARTBEAT_ENV",
+    "HOSTS_ENV",
+    "LEASE_TIMEOUT_ENV",
+    "MIN_GRACE_S",
+    "agent_command",
+    "distributed_available",
+    "heartbeat_default",
+    "lease_timeout_default",
+    "parse_hosts",
+]

@@ -1,0 +1,180 @@
+"""Wire protocol of the distributed scheduler: versioned JSON frames.
+
+The scheduler (:mod:`repro.runtime.distributed`) and its worker agents
+(:mod:`repro.runtime.agent`) speak newline-delimited JSON over the
+agent's stdin/stdout.  One line = one *frame*: a JSON object whose
+``"type"`` field names the message.  The vocabulary is deliberately
+tiny — five scheduler-visible frame types plus ``shutdown`` — because
+every robustness decision (deadlines, heartbeat windows, reassignment)
+lives in the scheduler; the agent is a dumb, replaceable executor.
+
+Frame types and their required fields::
+
+    hello      agent -> scheduler   {"v": PROTOCOL_VERSION, "pid": int}
+    lease      scheduler -> agent   {"lease_id": int, "indices": [int],
+                                     "payload": b64, "heartbeat_s": float,
+                                     "deadline_s": float | null}
+    heartbeat  agent -> scheduler   {"lease_id": int, "done": int}
+    result     agent -> scheduler   {"lease_id": int, "payload": b64,
+                                     "task_s": [float], "obs": {} | null}
+    error      agent -> scheduler   {"lease_id": int, "kind": str,
+                                     "error": str}
+    shutdown   scheduler -> agent   {}
+
+``payload`` fields carry pickled Python objects (the ``(fn, items)``
+pair of a lease; the result list of a ``result``) as base64 text, so a
+frame is always one clean ASCII line regardless of content.  Anything
+that does not decode — invalid JSON, a non-object, a missing or unknown
+``type``, a field of the wrong shape, corrupt base64 — raises
+:class:`~repro.errors.FrameError`.  The scheduler maps a frame error to
+*agent failure* (kill + reassign the lease), never to wave failure, so
+a garbage-emitting host cannot take a run down.
+
+``PROTOCOL_VERSION`` is checked on ``hello``: an agent speaking a
+different version is quarantined immediately rather than trusted with
+leases (mixed-version fleets fail loudly at handshake, not subtly at
+unpickling).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from typing import Any, Mapping
+
+from repro.errors import FrameError
+
+#: Version stamped into (and required of) every ``hello`` frame.
+PROTOCOL_VERSION = 1
+
+#: Frame vocabulary and the fields each frame must carry.
+FRAME_FIELDS: dict[str, tuple[str, ...]] = {
+    "hello": ("v", "pid"),
+    "lease": ("lease_id", "indices", "payload", "heartbeat_s",
+              "deadline_s"),
+    "heartbeat": ("lease_id", "done"),
+    "result": ("lease_id", "payload", "task_s", "obs"),
+    "error": ("lease_id", "kind", "error"),
+    "shutdown": (),
+}
+
+
+def pack_payload(obj: Any) -> str:
+    """Pickle ``obj`` into base64 text (one-line safe)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def unpack_payload(text: str) -> Any:
+    """Inverse of :func:`pack_payload`; :class:`FrameError` on corruption.
+
+    Unpickling executes arbitrary constructors by design — the payload
+    comes from *our own* scheduler/agent pair over a private pipe, the
+    same trust model as :mod:`multiprocessing` itself.
+    """
+    try:
+        return pickle.loads(base64.b64decode(text, validate=True))
+    except Exception as exc:  # repro: noqa[RPA501] decode firewall: any corrupt payload must become FrameError, never crash the scheduler loop
+        raise FrameError(f"corrupt frame payload: {exc!r}") from exc
+
+
+def encode_frame(frame_type: str, **fields: Any) -> str:
+    """Serialize one frame to its wire line (no trailing newline).
+
+    Validates the type and field set, so a malformed frame is a bug
+    caught at the sender, not a mystery at the receiver.
+    """
+    expected = FRAME_FIELDS.get(frame_type)
+    if expected is None:
+        raise FrameError(f"unknown frame type {frame_type!r}")
+    missing = [f for f in expected if f not in fields]
+    extra = [f for f in fields if f not in expected]
+    if missing or extra:
+        raise FrameError(
+            f"{frame_type} frame fields mismatch: missing {missing}, "
+            f"unexpected {extra}")
+    return json.dumps({"type": frame_type, **fields}, sort_keys=True)
+
+
+def decode_frame(line: str | bytes) -> dict[str, Any]:
+    """Parse one wire line into a validated frame dictionary.
+
+    Raises :class:`~repro.errors.FrameError` for anything that is not a
+    complete, known, well-shaped frame.  Field *values* are shape-checked
+    (lists are lists, ids are ints) but payloads stay encoded — call
+    :func:`unpack_payload` only on frames you trust enough to act on.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"frame is not UTF-8: {exc}") from exc
+    line = line.strip()
+    if not line:
+        raise FrameError("empty frame line")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise FrameError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise FrameError(
+            f"frame must be a JSON object, got {type(frame).__name__}")
+    frame_type = frame.get("type")
+    expected = FRAME_FIELDS.get(frame_type) if isinstance(
+        frame_type, str) else None
+    if expected is None:
+        raise FrameError(f"unknown frame type {frame_type!r}")
+    missing = [f for f in expected if f not in frame]
+    if missing:
+        raise FrameError(f"{frame_type} frame missing fields {missing}")
+    _check_shapes(frame)
+    return frame
+
+
+def _check_shapes(frame: Mapping[str, Any]) -> None:
+    """Cheap structural validation of the decoded field values."""
+    kind = frame["type"]
+    if kind == "hello":
+        if not isinstance(frame["v"], int) or not isinstance(
+                frame["pid"], int):
+            raise FrameError("hello frame: 'v' and 'pid' must be integers")
+    elif kind == "lease":
+        indices = frame["indices"]
+        if (not isinstance(frame["lease_id"], int)
+                or not isinstance(indices, list)
+                or not all(isinstance(i, int) for i in indices)
+                or not isinstance(frame["payload"], str)):
+            raise FrameError("lease frame: bad lease_id/indices/payload")
+    elif kind == "heartbeat":
+        if not isinstance(frame["lease_id"], int) or not isinstance(
+                frame["done"], int):
+            raise FrameError("heartbeat frame: lease_id/done must be ints")
+    elif kind == "result":
+        if (not isinstance(frame["lease_id"], int)
+                or not isinstance(frame["payload"], str)
+                or not isinstance(frame["task_s"], list)):
+            raise FrameError("result frame: bad lease_id/payload/task_s")
+    elif kind == "error":
+        if not isinstance(frame["lease_id"], int) or not isinstance(
+                frame["error"], str):
+            raise FrameError("error frame: bad lease_id/error")
+
+
+def check_hello(frame: Mapping[str, Any]) -> None:
+    """Reject a ``hello`` whose protocol version is not ours."""
+    if frame["v"] != PROTOCOL_VERSION:
+        raise FrameError(
+            f"protocol version mismatch: agent speaks v{frame['v']}, "
+            f"scheduler speaks v{PROTOCOL_VERSION}")
+
+
+__all__ = [
+    "FRAME_FIELDS",
+    "PROTOCOL_VERSION",
+    "check_hello",
+    "decode_frame",
+    "encode_frame",
+    "pack_payload",
+    "unpack_payload",
+]

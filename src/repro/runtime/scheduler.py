@@ -8,8 +8,8 @@ the dispatch layer must (a) survive worker crashes without losing the
 wave, (b) keep serial == parallel bitwise, and (c) stay swappable so a
 future distributed backend slots in without touching the sweeps.
 
-:class:`Scheduler` is that seam.  :class:`LocalScheduler` is the only
-implementation today: it wraps ``parallel_map``, adds
+:class:`Scheduler` is that seam.  :class:`LocalScheduler` is the
+default implementation: it wraps ``parallel_map``, adds
 work-stealing-style *guided chunking* (decreasing chunk sizes from
 :func:`~repro.runtime.parallel.guided_chunk_plan`, so a straggler task
 cannot serialize a wave), and absorbs
@@ -20,6 +20,12 @@ forwarding of the underlying machinery ride through unchanged: tasks
 keep their caller-assigned indices, so ``REPRO_FAULTS`` specs fire at
 the same logical work item at any worker count.
 
+:class:`~repro.runtime.distributed.DistributedScheduler` is the second
+implementation — lease-based dispatch over subprocess agents with
+deadlines, heartbeats, reassignment and local fallback.  Select it per
+run with ``REPRO_SCHEDULER=distributed`` (plus a ``REPRO_HOSTS`` spec)
+or per call by passing an instance to :func:`resolve_scheduler`.
+
 Determinism contract: a :class:`Scheduler` may partition tasks freely
 but must return results in task order, computed by a per-task pure
 function — exactly ``[fn(t) for t in tasks]``.  Chunking/worker-count
@@ -28,11 +34,13 @@ choices affect wall-clock only, never values.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ParallelMapError
 from repro.runtime.parallel import (
     guided_chunk_plan,
+    in_worker,
     parallel_map,
     resolve_workers,
 )
@@ -40,6 +48,10 @@ from repro.runtime.resilience import recover_parallel
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Environment variable choosing the scheduler implementation
+#: (``local`` | ``distributed``); unset means local.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
 
 
 class Scheduler:
@@ -99,14 +111,28 @@ class LocalScheduler(Scheduler):
 
 def resolve_scheduler(scheduler: Scheduler | None = None,
                       workers: int | None = None) -> Scheduler:
-    """The scheduler to use: an explicit one, else a :class:`LocalScheduler`.
+    """The scheduler to use: explicit > ``REPRO_SCHEDULER`` > local.
 
     ``workers`` only applies when a scheduler is constructed here; an
-    explicit ``scheduler`` argument wins as-is.
+    explicit ``scheduler`` argument wins as-is.  Inside a worker or
+    agent process the answer is always a :class:`LocalScheduler` —
+    nested distribution would fan out recursively.  An unknown
+    ``REPRO_SCHEDULER`` value raises ``ValueError`` (misconfiguration
+    should fail loudly, not silently fall back to local).
     """
     if scheduler is not None:
         return scheduler
-    return LocalScheduler(workers=workers)
+    choice = os.environ.get(SCHEDULER_ENV, "").strip().lower()
+    if choice in ("", "local") or in_worker():
+        return LocalScheduler(workers=workers)
+    if choice == "distributed":
+        # Imported here, not at module top: distributed.py subclasses
+        # Scheduler and wraps LocalScheduler, so a top-level import
+        # would be cyclic.
+        from repro.runtime.distributed import DistributedScheduler
+        return DistributedScheduler(workers=workers)
+    raise ValueError(
+        f"{SCHEDULER_ENV} must be 'local' or 'distributed', got {choice!r}")
 
 
 def scheduler_kind(scheduler: Any) -> str:
@@ -116,6 +142,7 @@ def scheduler_kind(scheduler: Any) -> str:
 
 __all__ = [
     "LocalScheduler",
+    "SCHEDULER_ENV",
     "Scheduler",
     "resolve_scheduler",
     "scheduler_kind",

@@ -1,0 +1,103 @@
+"""Wall-clock deadline tests: run_with_deadline + per-rung ladder budgets."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import ConvergenceError, DeadlineExceeded
+from repro.runtime.resilience import run_ladder, run_with_deadline
+
+
+class TestRunWithDeadline:
+    def test_fast_thunk_passes_through(self):
+        assert run_with_deadline(lambda: 42, 5.0, site="scf") == 42
+
+    def test_preemptive_interrupt_of_wedged_thunk(self):
+        # A sleep stands in for a wedged SCF loop: the SIGALRM path must
+        # interrupt it mid-flight, well before it would return.
+        start = time.perf_counter()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            run_with_deadline(lambda: time.sleep(30), 0.2,
+                              site="scf", rung="anderson")
+        assert time.perf_counter() - start < 5.0
+        assert excinfo.value.site == "scf"
+        assert excinfo.value.rung == "anderson"
+        assert excinfo.value.deadline_s == pytest.approx(0.2)
+        assert excinfo.value.elapsed_s >= 0.2
+
+    def test_zero_deadline_expires_immediately(self):
+        # deadline <= 0 means "already expired"; the distributed
+        # scheduler uses this to force-expire leases under the `lease`
+        # fault site, so the thunk must never run.
+        ran = []
+        with pytest.raises(DeadlineExceeded):
+            run_with_deadline(lambda: ran.append(1), 0.0, site="sr")
+        assert not ran
+
+    def test_is_a_convergence_error(self):
+        # Ladders escalate past ConvergenceError; DeadlineExceeded must
+        # ride that channel so a slow rung escalates like a diverged one.
+        assert issubclass(DeadlineExceeded, ConvergenceError)
+
+    def test_alarm_state_restored_after_success(self):
+        import signal
+        run_with_deadline(lambda: None, 5.0, site="scf")
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_alarm_state_restored_after_expiry(self):
+        import signal
+        with pytest.raises(DeadlineExceeded):
+            run_with_deadline(lambda: time.sleep(30), 0.1, site="scf")
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_thunk_exception_propagates_and_disarms(self):
+        import signal
+        with pytest.raises(ValueError, match="boom"):
+            run_with_deadline(lambda: (_ for _ in ()).throw(
+                ValueError("boom")), 5.0, site="scf")
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_counter_increments_when_tracing(self):
+        obs.enable()
+        try:
+            with pytest.raises(DeadlineExceeded):
+                run_with_deadline(lambda: time.sleep(30), 0.1, site="scf")
+            snap = obs.snapshot()
+            assert snap["counters"]["resilience.deadline_exceeded"] == 1
+        finally:
+            obs.disable()
+
+
+class TestLadderDeadline:
+    def test_slow_rung_escalates_to_fast_rung(self):
+        # Rung one wedges; the per-rung budget fails it and the ladder
+        # escalates, exactly as it would past a diverged solve.
+        result, tried = run_ladder(
+            [("wedged", lambda: time.sleep(30)),
+             ("quick", lambda: "ok")],
+            site="scf", deadline_s=0.2)
+        assert result == "ok"
+        assert tried == ["wedged", "quick"]
+
+    def test_all_rungs_over_budget_exhausts(self):
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            run_ladder(
+                [("a", lambda: time.sleep(30)),
+                 ("b", lambda: time.sleep(30))],
+                site="sr", deadline_s=0.1)
+        assert list(excinfo.value.context["rungs_tried"]) == ["a", "b"]
+        assert excinfo.value.context["ladder_site"] == "sr"
+
+    def test_no_deadline_means_unbudgeted(self):
+        result, tried = run_ladder(
+            [("only", lambda: 7)], site="scf")
+        assert (result, tried) == (7, ["only"])
+
+    def test_deadline_exceeded_carries_rung_name(self):
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            run_ladder([("anderson", lambda: time.sleep(30))],
+                       site="scf", deadline_s=0.1)
+        assert excinfo.value.rung == "anderson"

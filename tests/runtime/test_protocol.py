@@ -1,0 +1,143 @@
+"""Wire-protocol tests: round-trips, validation, and garbage fuzzing."""
+
+from __future__ import annotations
+
+import json
+import random
+import string
+
+import pytest
+
+from repro.errors import FrameError
+from repro.runtime.protocol import (
+    FRAME_FIELDS,
+    PROTOCOL_VERSION,
+    check_hello,
+    decode_frame,
+    encode_frame,
+    pack_payload,
+    unpack_payload,
+)
+
+
+class TestPayload:
+    def test_round_trip(self):
+        obj = {"a": [1, 2.5, None], "b": ("x", b"\x00\xff")}
+        assert unpack_payload(pack_payload(obj)) == obj
+
+    def test_payload_is_one_ascii_line(self):
+        text = pack_payload(list(range(100)))
+        assert "\n" not in text
+        assert text.isascii()
+
+    def test_corrupt_base64_raises_frame_error(self):
+        with pytest.raises(FrameError, match="corrupt frame payload"):
+            unpack_payload("not-base64!!!")
+
+    def test_truncated_pickle_raises_frame_error(self):
+        text = pack_payload([1, 2, 3])
+        with pytest.raises(FrameError):
+            unpack_payload(text[: len(text) // 2] + "==")
+
+
+class TestRoundTrip:
+    EXAMPLES = {
+        "hello": {"v": PROTOCOL_VERSION, "pid": 4321},
+        "lease": {"lease_id": 7, "indices": [3, 4, 5],
+                  "payload": pack_payload(("fn", [1])), "heartbeat_s": 1.0,
+                  "deadline_s": None},
+        "heartbeat": {"lease_id": 7, "done": 2},
+        "result": {"lease_id": 7, "payload": pack_payload([9]),
+                   "task_s": [0.25], "obs": None},
+        "error": {"lease_id": 7, "kind": "task", "error": "ValueError: x"},
+        "shutdown": {},
+    }
+
+    @pytest.mark.parametrize("frame_type", sorted(FRAME_FIELDS))
+    def test_every_frame_type_round_trips(self, frame_type):
+        fields = self.EXAMPLES[frame_type]
+        line = encode_frame(frame_type, **fields)
+        assert "\n" not in line
+        frame = decode_frame(line)
+        assert frame["type"] == frame_type
+        for key, value in fields.items():
+            assert frame[key] == value
+
+    def test_bytes_lines_decode(self):
+        line = encode_frame("heartbeat", lease_id=1, done=0)
+        assert decode_frame(line.encode("utf-8"))["lease_id"] == 1
+
+    def test_examples_cover_the_vocabulary(self):
+        assert sorted(self.EXAMPLES) == sorted(FRAME_FIELDS)
+
+
+class TestEncodeValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(FrameError, match="unknown frame type"):
+            encode_frame("gossip", lease_id=1)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(FrameError, match="missing"):
+            encode_frame("heartbeat", lease_id=1)
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(FrameError, match="unexpected"):
+            encode_frame("shutdown", surprise=True)
+
+
+class TestDecodeValidation:
+    @pytest.mark.parametrize("line", [
+        "", "   ", "not json", "[1, 2]", '"a string"', "null",
+        '{"no_type": 1}', '{"type": "gossip"}', '{"type": 42}',
+        '{"type": "heartbeat", "lease_id": 1}',
+        '{"type": "heartbeat", "lease_id": "one", "done": 0}',
+        '{"type": "hello", "v": "1", "pid": 1}',
+        '{"type": "lease", "lease_id": 1, "indices": "0-3", '
+        '"payload": "", "heartbeat_s": 1.0, "deadline_s": null}',
+        '{"type": "lease", "lease_id": 1, "indices": [0, "x"], '
+        '"payload": "", "heartbeat_s": 1.0, "deadline_s": null}',
+        '{"type": "result", "lease_id": 1, "payload": "", '
+        '"task_s": 0.5, "obs": null}',
+        '{"type": "error", "lease_id": 1, "kind": "task", "error": 5}',
+        b"\xff\xfe garbage bytes",
+    ])
+    def test_malformed_lines_raise_frame_error(self, line):
+        with pytest.raises(FrameError):
+            decode_frame(line)
+
+    def test_fuzz_random_garbage_never_escapes_frame_error(self):
+        # The scheduler maps FrameError to agent failure; any other
+        # exception class would crash the dispatch loop instead.
+        rng = random.Random(20260808)
+        alphabet = string.printable
+        for _ in range(300):
+            line = "".join(rng.choice(alphabet)
+                           for _ in range(rng.randrange(0, 120)))
+            try:
+                frame = decode_frame(line)
+            except FrameError:
+                continue
+            # Vanishingly unlikely, but if it parses it must be valid.
+            assert frame["type"] in FRAME_FIELDS
+
+    def test_fuzz_field_dropout(self):
+        # Remove each required field in turn from a valid frame.
+        base = {"type": "lease", "lease_id": 1, "indices": [0],
+                "payload": "", "heartbeat_s": 1.0, "deadline_s": None}
+        for field in FRAME_FIELDS["lease"]:
+            broken = {k: v for k, v in base.items() if k != field}
+            with pytest.raises(FrameError):
+                decode_frame(json.dumps(broken))
+
+
+class TestHello:
+    def test_matching_version_passes(self):
+        frame = decode_frame(encode_frame(
+            "hello", v=PROTOCOL_VERSION, pid=1))
+        check_hello(frame)
+
+    def test_version_skew_rejected(self):
+        frame = decode_frame(encode_frame(
+            "hello", v=PROTOCOL_VERSION + 1, pid=1))
+        with pytest.raises(FrameError, match="version mismatch"):
+            check_hello(frame)
